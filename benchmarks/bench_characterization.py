@@ -1,0 +1,19 @@
+"""Extended Table 3 — workload characterization of the suite."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import characterize_suite
+
+
+def test_characterization(benchmark, bench_length):
+    result = run_once(benchmark, characterize_suite, bench_length)
+    print()
+    print(result.render())
+    rows = result.rows
+    # the properties the reproduction depends on, per app
+    assert all(r.l2_kernel_share > 0.3 for r in rows)
+    assert all(0.05 < r.l1i_miss_rate < 0.35 for r in rows)
+    assert all(0.15 < r.write_fraction < 0.35 for r in rows)
+    # mean L2 kernel share is the paper's >40% claim
+    assert float(np.mean([r.l2_kernel_share for r in rows])) > 0.40

@@ -1,0 +1,12 @@
+"""Figure 1 — kernel share of L2 accesses (the >40% motivation)."""
+
+from conftest import run_once
+from repro.experiments import fig1_kernel_share
+
+
+def test_fig1_kernel_share(benchmark, bench_length):
+    result = run_once(benchmark, fig1_kernel_share, bench_length)
+    print()
+    print(result.render())
+    print(f"paper claim: >40% on average; measured mean: {result.mean:.1%}")
+    assert result.mean > 0.40

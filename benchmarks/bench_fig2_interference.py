@@ -1,0 +1,18 @@
+"""Figure 2 — user/kernel interference in the shared L2."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig2_interference
+
+
+def test_fig2_interference(benchmark, bench_length):
+    result = run_once(benchmark, fig2_interference, bench_length)
+    print()
+    print(result.render())
+    mean_xe = float(np.mean([r.cross_evictions_per_kilo_access for r in result.rows]))
+    print(f"mean cross-privilege evictions per 1k L2 accesses (shared): {mean_xe:.1f}")
+    assert mean_xe > 0.0
+    # partitioning at equal size must not hurt on average
+    mean_penalty = float(np.mean([r.interference_penalty for r in result.rows]))
+    assert mean_penalty > -0.01

@@ -1,0 +1,12 @@
+"""Figure 3 — shared-L2 miss rate vs capacity."""
+
+from conftest import run_once
+from repro.experiments import fig3_size_sweep
+
+
+def test_fig3_size_sweep(benchmark, bench_length):
+    result = run_once(benchmark, fig3_size_sweep, bench_length)
+    print()
+    print(result.render())
+    rates = [mr for _, mr in result.points]
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:])), "miss rate must not rise with size"

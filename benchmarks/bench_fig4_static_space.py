@@ -1,0 +1,14 @@
+"""Figure 4 — static partition design space and the chosen shrink."""
+
+from conftest import run_once
+from repro.experiments import fig4_static_space
+
+
+def test_fig4_static_space(benchmark, bench_length):
+    result = run_once(benchmark, fig4_static_space, bench_length)
+    print()
+    print(result.render())
+    # the chosen point must be smaller than the 1 MB baseline
+    assert result.chosen.total_bytes < 1024 * 1024
+    # and its miss rate within the 10% tolerance band of the baseline
+    assert result.chosen.demand_miss_rate <= result.baseline_miss_rate * 1.12

@@ -1,0 +1,17 @@
+"""Figure 5 — inter-access intervals of the separated segments."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig5_intervals
+
+
+def test_fig5_intervals(benchmark, bench_length):
+    result = run_once(benchmark, fig5_intervals, bench_length)
+    print()
+    print(result.render())
+    user_p90 = np.mean([r.p90_ms for r in result.rows if r.privilege == "user"])
+    kernel_p90 = np.mean([r.p90_ms for r in result.rows if r.privilege == "kernel"])
+    print(f"suite mean p90: user {user_p90:.2f} ms vs kernel {kernel_p90:.2f} ms")
+    # the paper's asymmetry: user dead times well beyond kernel's
+    assert user_p90 > kernel_p90 * 1.5

@@ -1,0 +1,16 @@
+"""Figure 6 — L2 energy breakdown per design."""
+
+from conftest import run_once
+from repro.experiments import fig6_energy_breakdown
+
+
+def test_fig6_energy_breakdown(benchmark, bench_length):
+    result = run_once(benchmark, fig6_energy_breakdown, bench_length)
+    print()
+    print(result.render())
+    rows = {r.design: r for r in result.rows}
+    # the baseline is leakage-dominated; STT designs are not
+    base = rows["baseline"]
+    assert base.leakage_uj > base.read_uj + base.write_uj
+    stt = rows["static-stt"]
+    assert stt.leakage_uj < base.leakage_uj * 0.35

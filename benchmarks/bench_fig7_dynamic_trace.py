@@ -1,0 +1,14 @@
+"""Figure 7 — dynamic partition way timeline."""
+
+from conftest import run_once
+from repro.experiments import fig7_dynamic_timeline
+
+
+def test_fig7_dynamic_timeline(benchmark, bench_length):
+    result = run_once(benchmark, fig7_dynamic_timeline, "browser", bench_length)
+    print()
+    print(result.render())
+    # the controller must actually move capacity around
+    assert min(result.user_ways) < max(result.user_ways)
+    # and on average power less than the static design's 12 ways
+    assert result.mean_user_ways + result.mean_kernel_ways < result.static_total_ways

@@ -1,0 +1,17 @@
+"""Figure 8 — normalized L2 energy per design (the headline result)."""
+
+from conftest import run_once
+from repro.experiments import fig8_energy_summary
+
+
+def test_fig8_energy_summary(benchmark, bench_length):
+    result = run_once(benchmark, fig8_energy_summary, bench_length)
+    print()
+    print(result.render())
+    static_saving = result.saving("static-stt")
+    dynamic_saving = result.saving("dynamic-stt")
+    print(f"paper: static technique saves ~75%; measured: {static_saving:.1%}")
+    print(f"paper: dynamic technique saves ~85%; measured: {dynamic_saving:.1%}")
+    assert 0.65 < static_saving < 0.85
+    assert 0.75 < dynamic_saving < 0.92
+    assert dynamic_saving > static_saving

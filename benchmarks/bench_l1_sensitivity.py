@@ -1,0 +1,54 @@
+"""Supporting analysis — kernel L2 share vs L1 size.
+
+The >40% kernel share of L2 accesses (Figure 1) is a property of what
+the L1s *fail* to filter.  Bigger L1s capture more of the user hot set
+than of the kernel's (the kernel's state is touched from many contexts
+and thrashes small L1s less predictably), so the kernel's L2 share is
+robust to — indeed grows slowly with — reasonable L1 sizing.  This bench
+pins that, heading off the "your L1s are just too small" critique.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.cache.hierarchy import l1_filter
+from repro.config import DEFAULT_PLATFORM, CacheGeometry, PlatformConfig
+from repro.experiments import format_table
+from repro.trace.workloads import suite_trace
+
+APPS = ("browser", "social", "game")
+L1_KB = (16, 32, 64)
+
+
+def _sweep(length):
+    rows = []
+    for l1_kb in L1_KB:
+        platform = PlatformConfig(
+            l1i=CacheGeometry(l1_kb * 1024, 4),
+            l1d=CacheGeometry(l1_kb * 1024, 4),
+            l2=DEFAULT_PLATFORM.l2,
+            latency=DEFAULT_PLATFORM.latency,
+        )
+        shares, volumes = [], []
+        for app in APPS:
+            stream = l1_filter(suite_trace(app, max(120_000, length // 4)), platform)
+            shares.append(stream.kernel_share())
+            volumes.append(len(stream.ticks))
+        rows.append((l1_kb, float(np.mean(shares)), float(np.mean(volumes))))
+    return rows
+
+
+def test_l1_size_sensitivity(benchmark, bench_length):
+    rows = run_once(benchmark, _sweep, bench_length)
+    print()
+    print(format_table(
+        "Supporting: kernel share of L2 accesses vs L1 size (3-app mean)",
+        ["L1 size", "kernel L2 share", "L2 accesses"],
+        [[f"{kb} KB", f"{s:.1%}", f"{v:,.0f}"] for kb, s, v in rows],
+    ))
+    shares = [s for _, s, _ in rows]
+    # the >40%-class kernel share is not an artifact of one L1 size
+    assert all(s > 0.30 for s in shares)
+    # larger L1s filter traffic but do not erase the kernel share
+    volumes = [v for _, _, v in rows]
+    assert volumes[0] > volumes[-1]

@@ -1,0 +1,21 @@
+"""Synthesis — the energy/performance Pareto frontier over all designs."""
+
+from conftest import run_once
+from repro.experiments import pareto_frontier
+
+
+def test_pareto_frontier(benchmark, bench_length):
+    result = run_once(benchmark, pareto_frontier, bench_length)
+    print()
+    print(result.render())
+    frontier = {p.design for p in result.frontier()}
+    # the baseline anchors the frontier at zero loss; the paper's dynamic
+    # technique must be on the frontier (nothing saves more for less)
+    assert "baseline" in frontier
+    assert "dynamic-stt" in frontier
+    # the paper's static technique beats every SRAM-only option on energy
+    points = {p.design: p for p in result.points}
+    assert points["static-stt"].energy_norm < points["drowsy-sram"].energy_norm
+    assert points["static-stt"].energy_norm < points["static-sram"].energy_norm
+    # and the naive hybrid is dominated (it never makes the frontier here)
+    assert not points["hybrid"].on_frontier

@@ -1,0 +1,19 @@
+"""Robustness — the headline across independent trace seeds."""
+
+from conftest import run_once
+from repro.experiments import seed_robustness
+
+
+def test_seed_robustness(benchmark, bench_length):
+    # three full-suite grids x three seeds is the most expensive bench;
+    # restrict to a 4-app subset at full length
+    result = run_once(
+        benchmark, seed_robustness, bench_length, (0, 1, 2),
+        ("browser", "social", "game", "email"),
+    )
+    print()
+    print(result.render())
+    # savings must be stable across seeds (not a seed-0 artifact)
+    assert result.static_saving_std() < 0.03
+    assert min(result.static_savings) > 0.65
+    assert min(result.dynamic_savings) > 0.75

@@ -1,0 +1,17 @@
+"""Supporting — per-segment miss/energy breakdown of every design."""
+
+from conftest import run_once
+from repro.experiments import segment_breakdown
+
+
+def test_segment_breakdown(benchmark, bench_length):
+    result = run_once(benchmark, segment_breakdown, bench_length)
+    print()
+    print(result.render())
+    by_design = {r.design: r for r in result.rows}
+    static = by_design["static-stt"]
+    # the kernel segment is a quarter of the capacity but serves ~40% of
+    # the traffic: its energy share must sit well above its size share
+    assert static.kernel_energy_share > 0.25
+    # and the partition keeps both sides' miss rates in the same regime
+    assert abs(static.user_miss_rate - by_design["baseline"].user_miss_rate) < 0.05

@@ -1,0 +1,21 @@
+"""Sensitivity — headline robustness to timing-model constants."""
+
+from conftest import run_once
+from repro.experiments import dram_latency_sensitivity, l2_latency_sensitivity
+
+
+def test_dram_latency_sensitivity(benchmark, bench_length):
+    result = run_once(benchmark, dram_latency_sensitivity, bench_length)
+    print()
+    print(result.render())
+    # the energy conclusion must not hinge on the DRAM latency choice
+    assert result.energy_spread() < 0.05
+    assert all(r.static_stt_energy_norm < 0.35 for r in result.rows)
+
+
+def test_l2_latency_sensitivity(benchmark, bench_length):
+    result = run_once(benchmark, l2_latency_sensitivity, bench_length)
+    print()
+    print(result.render())
+    assert result.energy_spread() < 0.05
+    assert all(r.static_stt_energy_norm < 0.35 for r in result.rows)

@@ -1,0 +1,38 @@
+"""Simulator throughput — accesses per second of the core engine.
+
+The one bench where wall-clock time is the result itself.  Regressions
+here make every experiment slower, so it is tracked with real
+pytest-benchmark rounds (the engine is deterministic and side-effect
+free across rounds because each round builds a fresh cache).
+"""
+
+import numpy as np
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import CacheGeometry
+
+N_ACCESSES = 50_000
+
+
+def _make_workload():
+    rng = np.random.default_rng(42)
+    addrs = (rng.integers(0, 1 << 14, size=N_ACCESSES) * 64).tolist()
+    writes = (rng.integers(0, 2, size=N_ACCESSES) == 1).tolist()
+    privs = (rng.integers(0, 2, size=N_ACCESSES)).tolist()
+    return addrs, writes, privs
+
+
+def _run(addrs, writes, privs):
+    cache = SetAssociativeCache(CacheGeometry(256 * 1024, 8), "lru")
+    access = cache.access
+    for tick, (addr, is_write, priv) in enumerate(zip(addrs, writes, privs)):
+        access(addr, is_write, priv, tick)
+    return cache.stats.misses
+
+
+def test_engine_throughput(benchmark):
+    addrs, writes, privs = _make_workload()
+    misses = benchmark(_run, addrs, writes, privs)
+    assert misses > 0
+    rate = N_ACCESSES / benchmark.stats["mean"]
+    print(f"\nengine throughput: {rate / 1e6:.2f} M accesses/s")

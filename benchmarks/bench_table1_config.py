@@ -1,0 +1,11 @@
+"""Table 1 — simulated platform configuration."""
+
+from conftest import run_once
+from repro.experiments import table1_configuration
+
+
+def test_table1_configuration(benchmark):
+    table = run_once(benchmark, table1_configuration)
+    print()
+    print(table.render())
+    assert any("L2 cache" in row[0] for row in table.rows)

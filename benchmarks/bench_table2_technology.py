@@ -1,0 +1,12 @@
+"""Table 2 — SRAM vs multi-retention STT-RAM technology parameters."""
+
+from conftest import run_once
+from repro.experiments import table2_technology
+
+
+def test_table2_technology(benchmark):
+    table = run_once(benchmark, table2_technology)
+    print()
+    print(table.render())
+    names = [row[0] for row in table.rows]
+    assert names == ["sram", "stt-long", "stt-medium", "stt-short"]

@@ -1,0 +1,11 @@
+"""Table 3 — the interactive smartphone workload suite."""
+
+from conftest import run_once
+from repro.experiments import table3_workloads
+
+
+def test_table3_workloads(benchmark):
+    table = run_once(benchmark, table3_workloads)
+    print()
+    print(table.render())
+    assert len(table.rows) == 8

@@ -1,0 +1,16 @@
+"""Table 4 — performance loss of each design vs the baseline."""
+
+from conftest import run_once
+from repro.experiments import table4_performance
+
+
+def test_table4_performance(benchmark, bench_length):
+    table = run_once(benchmark, table4_performance, bench_length)
+    print()
+    print(table.render())
+    static_loss = table.mean("static-stt")
+    dynamic_loss = table.mean("dynamic-stt")
+    print(f"paper: static ~2% loss; measured: {static_loss:.2%}")
+    print(f"paper: dynamic ~3% loss; measured: {dynamic_loss:.2%}")
+    assert static_loss < 0.06
+    assert static_loss <= dynamic_loss < 0.12

@@ -1,0 +1,42 @@
+"""Extension table — structural area/energy estimates of the arrays.
+
+The structural model answers a question the calibrated constants cannot:
+what does each design's array *cost in silicon*?  The STT-RAM density
+advantage means the paper's 768 KB STT partition is ~5x smaller in area
+than the 1 MB SRAM baseline while also burning less leakage.
+"""
+
+from conftest import run_once
+from repro.config import CacheGeometry
+from repro.energy.array_model import SRAM_CELL, STT_CELL, estimate_array
+from repro.experiments import format_table
+
+ARRAYS = [
+    ("baseline (shared SRAM)", CacheGeometry(1024 * 1024, 16), SRAM_CELL),
+    ("static-sram user seg", CacheGeometry(512 * 1024, 8), SRAM_CELL),
+    ("static-sram kernel seg", CacheGeometry(256 * 1024, 4), SRAM_CELL),
+    ("static-stt user seg", CacheGeometry(512 * 1024, 8), STT_CELL),
+    ("static-stt kernel seg", CacheGeometry(256 * 1024, 4), STT_CELL),
+]
+
+
+def _estimate():
+    return [(label, estimate_array(geometry, cell)) for label, geometry, cell in ARRAYS]
+
+
+def test_table_area(benchmark):
+    rows = run_once(benchmark, _estimate)
+    print()
+    print(format_table(
+        "Extension table: structural array estimates (45 nm class)",
+        ["array", "read (nJ)", "write (nJ)", "leakage (mW)", "area (mm^2)"],
+        [[label] + est.row()[1:] for label, est in rows],
+    ))
+    by_label = dict(rows)
+    baseline_area = by_label["baseline (shared SRAM)"].area_mm2
+    stt_area = (by_label["static-stt user seg"].area_mm2
+                + by_label["static-stt kernel seg"].area_mm2)
+    print(f"area: 1 MB SRAM baseline {baseline_area:.2f} mm^2 -> "
+          f"768 KB STT partition {stt_area:.2f} mm^2 "
+          f"({baseline_area / stt_area:.1f}x smaller)")
+    assert stt_area < baseline_area / 3

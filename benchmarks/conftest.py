@@ -1,0 +1,34 @@
+"""Benchmark-session configuration.
+
+Each bench regenerates one table or figure of the paper at full
+experiment scale and prints the artifact.  The runner-level caches in
+:mod:`repro.experiments.runner` are shared across the whole pytest
+session, so the (design x app) grid is simulated exactly once no matter
+how many benches read from it.
+
+Set ``REPRO_BENCH_LENGTH`` to shrink the per-app trace length for a
+faster (less converged) pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH
+
+
+@pytest.fixture(scope="session")
+def bench_length() -> int:
+    """Trace length used by every bench (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_LENGTH", EXPERIMENT_TRACE_LENGTH))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    The experiments are deterministic end-to-end, so repeated rounds
+    would only re-measure the memoisation cache.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario: evaluating the designs on a workload you define yourself.
+
+The suite's eight apps are built from the same phase model exposed in the
+public API; this example models a *camera* application — long bursts of
+user-space image processing over large frame buffers, punctuated by
+driver-heavy kernel activity for the sensor/ISP — and checks how the
+paper's designs hold up on it.
+
+Run:  python examples/custom_workload.py [trace_length]
+"""
+
+import sys
+
+from repro.cache import l1_filter
+from repro.config import DEFAULT_PLATFORM
+from repro.core import paper_designs
+from repro.experiments import format_percent, format_table
+from repro.trace import AppProfile, PhaseSpec, Region, generate_trace
+from repro.types import Privilege
+
+KB = 1024
+
+CODE_KINDS = (0.9, 0.08, 0.02)
+DATA_KINDS = (0.0, 0.68, 0.32)
+BUF_KINDS = (0.0, 0.5, 0.5)
+
+
+def camera_profile() -> AppProfile:
+    """A camera app: ISP pipelines stream frames; the kernel drives DMA."""
+    user_code = Region("cam_code", 0x0040_0000, 96 * KB, "hot", 3.4, CODE_KINDS)
+    # per-frame working state: tile buffers reused across pipeline stages
+    user_tiles = Region("cam_tiles", 0x1000_0000, 160 * KB, "uniform",
+                        kind_weights=DATA_KINDS)
+    # full frames stream through once per capture
+    user_frames = Region("cam_frames", 0x4000_0000, 16 * 1024 * KB, "stream",
+                         kind_weights=DATA_KINDS, run_mean=10.0)
+    kernel_code = Region("isp_driver", 0xC010_0000, 96 * KB, "hot", 3.4, CODE_KINDS)
+    kernel_state = Region("isp_state", 0xC400_0000, 48 * KB, "uniform",
+                          kind_weights=DATA_KINDS)
+    kernel_dma = Region("isp_dma", 0xD000_0000, 8 * 1024 * KB, "stream",
+                        kind_weights=BUF_KINDS, run_mean=10.0)
+
+    process = PhaseSpec(
+        "process_frame", Privilege.USER,
+        (user_code, user_tiles, user_frames),
+        (0.30, 0.50, 0.20),
+        mean_accesses=700, mean_gap=3.0,
+    )
+    capture = PhaseSpec(
+        "capture_irq", Privilege.KERNEL,
+        (kernel_code, kernel_state, kernel_dma),
+        (0.40, 0.35, 0.25),
+        mean_accesses=350, mean_gap=2.5,
+    )
+    return AppProfile(
+        name="camera",
+        description="camera capture + ISP processing pipeline",
+        phases=(process, capture),
+        transitions=((0.0, 1.0), (1.0, 0.0)),
+        idle_prob=0.25,          # waiting for the next frame
+        idle_mean_ticks=50_000,  # ~ a frame interval at this scale
+        wake_phase=1,            # the sensor interrupt wakes the core
+    )
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 240_000
+    profile = camera_profile()
+
+    print(f"Generating a {length:,}-access '{profile.name}' trace ...")
+    trace = generate_trace(profile, length, seed=0)
+    print(f"  {trace.describe()}")
+
+    stream = l1_filter(trace, DEFAULT_PLATFORM)
+    print(f"  L2 sees {len(stream):,} accesses, kernel share {stream.kernel_share():.1%}\n")
+
+    baseline = None
+    rows = []
+    for name, design in paper_designs().items():
+        result = design.run(stream, DEFAULT_PLATFORM)
+        if baseline is None:
+            baseline = result
+        rows.append([
+            name,
+            format_percent(result.l2_stats.demand_miss_rate, 2),
+            f"{result.l2_energy.total_j / baseline.l2_energy.total_j:.3f}",
+            format_percent(result.timing.perf_loss_vs(baseline.timing), 2),
+        ])
+    print(format_table(
+        "Designs on the custom 'camera' workload",
+        ["design", "miss rate", "norm. energy", "perf loss"],
+        rows,
+    ))
+    print(
+        "\nEven on a workload the designs were never tuned for, the energy\n"
+        "ordering of the paper should hold: baseline > static-sram > "
+        "static-stt > dynamic-stt."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: does the partitioned design survive a multi-core SoC?
+
+The paper evaluates one core, but phones share the L2 among cores.  Two
+things change with core count, in opposite directions:
+
+* user working sets are per-process (disjoint ASIDs) — they *contend*;
+* the kernel is one address space — every core's syscalls *share* its
+  blocks, so kernel content becomes more valuable per byte.
+
+This script quantifies both and re-runs the designs on 1/2/4-core mixes.
+
+Run:  python examples/multicore_sharing.py [per_core_length]
+"""
+
+import sys
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core import paper_designs
+from repro.experiments import format_percent, format_table
+from repro.multicore import kernel_block_sharing, multicore_stream
+from repro.types import Privilege
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    mixes = {
+        "1 core": ("browser",),
+        "2 cores": ("browser", "game"),
+        "4 cores": ("browser", "game", "social", "music"),
+    }
+
+    rows = []
+    for label, apps in mixes.items():
+        stream = multicore_stream(apps, length)
+        base = None
+        norm = {}
+        for name, design in paper_designs().items():
+            result = design.run(stream, DEFAULT_PLATFORM)
+            if base is None:
+                base = result
+            norm[name] = result.l2_energy.total_j / base.l2_energy.total_j
+        stats = base.l2_stats
+        rows.append([
+            label,
+            format_percent(stats.miss_rate_of(Privilege.USER), 1),
+            format_percent(stats.miss_rate_of(Privilege.KERNEL), 1),
+            format_percent(kernel_block_sharing(stream), 1),
+            f"{norm['static-stt']:.3f}",
+            f"{norm['dynamic-stt']:.3f}",
+        ])
+
+    print(format_table(
+        f"Multi-core shared L2 ({length:,} accesses per core)",
+        ["mix", "user mr", "kernel mr", "kernel sharing", "static-stt", "dynamic-stt"],
+        rows,
+    ))
+    print(
+        "\nReading the table: kernel miss rate falls as cores are added\n"
+        "(cross-core reuse of the single kernel address space) while user\n"
+        "miss rate holds or rises (disjoint per-process working sets).\n"
+        "A protected kernel segment becomes *more* valuable with core count\n"
+        "— the paper's single-core motivation strengthens on real SoCs."
+    )
+
+
+if __name__ == "__main__":
+    main()

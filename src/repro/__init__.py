@@ -1,0 +1,39 @@
+"""repro — energy-efficient user/kernel-partitioned L2 caches for mobile.
+
+A trace-driven reproduction of *"Energy-efficient cache design in
+emerging mobile platforms: the implications and optimizations"* (DATE
+2015; TODAES 22(4) 2017 extension by Yan, Peng, Chen and Fu).
+
+Layers (each is a subpackage with its own public surface):
+
+* :mod:`repro.trace` — synthetic interactive-smartphone workloads with
+  user/kernel privilege tags.
+* :mod:`repro.cache` — set-associative cache simulator with partitioning,
+  finite retention and way power-gating.
+* :mod:`repro.energy` — SRAM / multi-retention STT-RAM energy models.
+* :mod:`repro.timing` — in-order CPI + memory-stall execution model.
+* :mod:`repro.core` — the paper's designs: static user/kernel partition,
+  multi-retention STT-RAM assignment, dynamic partitioning.
+* :mod:`repro.experiments` — one callable per figure/table.
+
+Quickstart::
+
+    from repro.experiments import fig8_energy_summary
+    print(fig8_energy_summary(length=240_000).render())
+"""
+
+from repro.config import DEFAULT_PLATFORM, CacheGeometry, LatencyConfig, PlatformConfig
+from repro.types import CACHE_BLOCK_SIZE, AccessKind, Privilege
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PLATFORM",
+    "CacheGeometry",
+    "LatencyConfig",
+    "PlatformConfig",
+    "CACHE_BLOCK_SIZE",
+    "AccessKind",
+    "Privilege",
+    "__version__",
+]

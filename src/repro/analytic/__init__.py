@@ -1,0 +1,5 @@
+"""Analytic substrate: stack-distance reuse profiling and prediction."""
+
+from repro.analytic.stack import StackProfile, profile_blocks, stack_distances
+
+__all__ = ["StackProfile", "profile_blocks", "stack_distances"]

@@ -1,0 +1,59 @@
+"""Cache simulation substrate.
+
+Public surface:
+
+* :class:`SetAssociativeCache` / :class:`AccessResult` — the engine.
+* :class:`PartitionedCache` — per-privilege user/kernel segments.
+* :func:`l1_filter` / :class:`L2Stream` — split-L1 front end.
+* :class:`CacheStats` — counters and derived rates.
+* :func:`make_policy` and the policy classes — replacement policies.
+"""
+
+from repro.cache.analysis import SetPressure, occupancy_by_way, set_pressure
+from repro.cache.hierarchy import L2Stream, l1_filter
+from repro.cache.partitioned import PartitionedCache
+from repro.cache.prefetch import (
+    Prefetcher,
+    SequentialPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.cache.replacement import (
+    POLICY_NAMES,
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import REFRESH_MODES, AccessResult, SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.cache.waypart import WayMaskPartitionedCache
+
+__all__ = [
+    "SetPressure",
+    "occupancy_by_way",
+    "set_pressure",
+    "Prefetcher",
+    "SequentialPrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+    "WayMaskPartitionedCache",
+    "L2Stream",
+    "l1_filter",
+    "PartitionedCache",
+    "POLICY_NAMES",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "REFRESH_MODES",
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheStats",
+]

@@ -1,0 +1,84 @@
+"""Privilege-partitioned L2: separate user and kernel segments.
+
+The paper's core structural idea: split the L2 into two way-partitions,
+one reachable only by user-mode accesses and one only by kernel-mode
+accesses.  Each segment keeps the parent's set count, so a *k*-way
+segment of a 1024-set L2 is exactly the way-partition hardware would
+build.  Cross-privilege interference is impossible by construction.
+
+Each segment is an independent :class:`SetAssociativeCache`, which lets
+the two sides differ in retention class (multi-retention STT-RAM) and be
+resized independently (dynamic partitioning).
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import AccessResult, SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.config import CacheGeometry
+from repro.types import Privilege
+
+__all__ = ["PartitionedCache"]
+
+
+class PartitionedCache:
+    """An L2 made of one cache segment per privilege level.
+
+    Args:
+        segments: Mapping from privilege to its segment cache.  Both
+            privileges must be present and the segments must share set
+            count and block size (they are way-partitions of one array).
+    """
+
+    def __init__(self, segments: dict[Privilege, SetAssociativeCache]) -> None:
+        missing = [p for p in Privilege if p not in segments]
+        if missing:
+            raise ValueError(f"partitioned cache missing segments for {missing}")
+        geoms = [segments[p].geometry for p in Privilege]
+        if len({g.num_sets for g in geoms}) != 1 or len({g.block_size for g in geoms}) != 1:
+            raise ValueError("segments must share set count and block size")
+        self.segments = dict(segments)
+
+    @property
+    def user(self) -> SetAssociativeCache:
+        """The user-privilege segment."""
+        return self.segments[Privilege.USER]
+
+    @property
+    def kernel(self) -> SetAssociativeCache:
+        """The kernel-privilege segment."""
+        return self.segments[Privilege.KERNEL]
+
+    @property
+    def size_bytes(self) -> int:
+        """Combined active capacity of both segments."""
+        return sum(seg.size_bytes for seg in self.segments.values())
+
+    def segment_for(self, priv: int) -> SetAssociativeCache:
+        """Segment that serves accesses at privilege ``priv``."""
+        return self.segments[Privilege(priv)]
+
+    def access(
+        self, addr: int, is_write: bool, priv: int, tick: int, demand: bool = True
+    ) -> AccessResult:
+        """Route the access to its privilege's segment."""
+        return self.segment_for(priv).access(addr, is_write, priv, tick, demand)
+
+    def finalize(self, tick: int) -> None:
+        """Settle lazy accounting in both segments."""
+        for seg in self.segments.values():
+            seg.finalize(tick)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Merged whole-L2 statistics."""
+        merged = CacheStats()
+        for seg in self.segments.values():
+            merged = merged.merge(seg.stats)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedCache(user={self.user.size_bytes // 1024} KB, "
+            f"kernel={self.kernel.size_bytes // 1024} KB)"
+        )

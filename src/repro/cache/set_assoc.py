@@ -1,0 +1,507 @@
+"""The set-associative cache engine.
+
+This is the workhorse of the reproduction: a single-level, write-back,
+write-allocate, set-associative cache with
+
+* pluggable replacement (:mod:`repro.cache.replacement`),
+* per-block privilege ownership and cross-privilege eviction accounting
+  (the paper's interference metric),
+* optional finite data retention (STT-RAM) with two handling modes —
+  ``"invalidate"`` (expired blocks silently die; a re-reference misses)
+  and ``"rewrite"`` (a refresh controller rewrites live blocks each
+  refresh period, charged to ``refresh_writes``), and
+* online way resizing, used by the dynamic partition controller.
+
+Time is the trace tick (core cycles).  Retention is expressed in ticks.
+"""
+
+from __future__ import annotations
+
+from repro.cache.block import Entry
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+from repro.config import CacheGeometry
+
+__all__ = ["AccessResult", "SetAssociativeCache", "REFRESH_MODES"]
+
+REFRESH_MODES = ("none", "invalidate", "rewrite")
+
+#: Refresh period as a fraction of the retention window in ``rewrite``
+#: mode.  Refreshing at 80% of retention guarantees no cell ever expires.
+_REFRESH_FRACTION = 0.8
+
+
+class AccessResult:
+    """Outcome of one cache access (cheap value object).
+
+    ``victim_addr``/``victim_priv`` describe the dirty block written back
+    on this access, when ``writeback`` is True — the level above needs
+    the address to forward the write-back downstream.
+    """
+
+    __slots__ = ("hit", "writeback", "expired", "hit_rank", "victim_addr", "victim_priv")
+
+    def __init__(
+        self,
+        hit: bool,
+        writeback: bool,
+        expired: bool,
+        hit_rank: int | None,
+        victim_addr: int | None = None,
+        victim_priv: int | None = None,
+    ) -> None:
+        self.hit = hit
+        self.writeback = writeback
+        self.expired = expired
+        self.hit_rank = hit_rank
+        self.victim_addr = victim_addr
+        self.victim_priv = victim_priv
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(hit={self.hit}, writeback={self.writeback}, "
+            f"expired={self.expired}, hit_rank={self.hit_rank})"
+        )
+
+
+class SetAssociativeCache:
+    """A write-back write-allocate set-associative cache.
+
+    Args:
+        geometry: Size/associativity/block size.
+        policy: Replacement policy instance or name.
+        retention_ticks: Data-retention window in ticks, or ``None`` for
+            non-volatile-enough storage (SRAM / long-retention STT-RAM).
+        refresh_mode: ``"none"`` (requires ``retention_ticks is None``),
+            ``"invalidate"`` or ``"rewrite"``.
+        name: Label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy | str = "lru",
+        retention_ticks: int | None = None,
+        refresh_mode: str = "none",
+        retains_when_gated: bool = True,
+        drowsy_window: int | None = None,
+        retention_distribution: str = "fixed",
+        retention_seed: int = 0xDECA,
+        name: str = "cache",
+    ) -> None:
+        geometry.validate()
+        if refresh_mode not in REFRESH_MODES:
+            raise ValueError(f"refresh_mode must be one of {REFRESH_MODES}, got {refresh_mode!r}")
+        if retention_ticks is None and refresh_mode != "none":
+            raise ValueError("refresh_mode requires a finite retention_ticks")
+        if retention_ticks is not None:
+            if retention_ticks <= 0:
+                raise ValueError(f"retention_ticks must be positive, got {retention_ticks}")
+            if refresh_mode == "none":
+                raise ValueError("finite retention needs refresh_mode 'invalidate' or 'rewrite'")
+        if drowsy_window is not None and drowsy_window <= 0:
+            raise ValueError(f"drowsy_window must be positive, got {drowsy_window}")
+        if retention_distribution not in ("fixed", "exponential"):
+            raise ValueError(
+                f"retention_distribution must be 'fixed' or 'exponential', "
+                f"got {retention_distribution!r}"
+            )
+        self.geometry = geometry
+        self.name = name
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.retention_ticks = retention_ticks
+        self.refresh_mode = refresh_mode
+        self.retention_distribution = retention_distribution
+        self._retention_rng = None
+        if retention_distribution == "exponential" and retention_ticks is not None:
+            import numpy as _np
+
+            self._retention_rng = _np.random.default_rng(retention_seed)
+        self._refresh_period = (
+            max(1, int(retention_ticks * _REFRESH_FRACTION))
+            if (retention_ticks is not None and refresh_mode == "rewrite")
+            else None
+        )
+        self.stats = CacheStats()
+        self._block_bits = geometry.block_size.bit_length() - 1
+        self._num_sets = geometry.num_sets
+        self._set_mask = self._num_sets - 1
+        self._set_bits = self._num_sets.bit_length() - 1
+        self.drowsy_window = drowsy_window
+        self.awake_block_ticks = 0
+        self.drowsy_wakeups = 0
+        self.ways = geometry.associativity
+        self.powered_ways = self.ways
+        self.retains_when_gated = retains_when_gated
+        self.gated_misses = 0
+        self._frames: list[list[Entry | None]] = [
+            [None] * self.ways for _ in range(self._num_sets)
+        ]
+        self._tagmaps: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
+        self._pstates: list[object] = [self.policy.init_set(self.ways) for _ in range(self._num_sets)]
+        self._track_ranks = isinstance(self.policy, LRUPolicy)
+        # Epoch counters consumed by the dynamic partition controller.
+        self.epoch_accesses = 0
+        self.epoch_misses = 0
+        self.epoch_rank_hits: list[int] = [0] * self.ways
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+
+    @property
+    def size_bytes(self) -> int:
+        """Provisioned capacity (tracks way resizes)."""
+        return self._num_sets * self.ways * self.geometry.block_size
+
+    @property
+    def powered_bytes(self) -> int:
+        """Currently powered capacity (leakage burns only here)."""
+        return self._num_sets * self.powered_ways * self.geometry.block_size
+
+    def _index(self, addr: int) -> tuple[int, int]:
+        """Split an address into (set index, tag)."""
+        blk = addr >> self._block_bits
+        return blk & self._set_mask, blk >> self._set_bits
+
+    def _frame_addr(self, set_i: int, tag: int) -> int:
+        """Reconstruct the block-aligned address of (set, tag)."""
+        return ((tag << self._set_bits) | set_i) << self._block_bits
+
+    # ------------------------------------------------------------------
+    # retention bookkeeping
+
+    def _is_expired(self, entry: Entry, tick: int) -> bool:
+        if self.refresh_mode != "invalidate":
+            return False
+        window = entry.life if entry.life is not None else self.retention_ticks
+        return tick - entry.last_refresh > window
+
+    def _draw_life(self, entry: Entry) -> None:
+        """Under exponential retention, (re)draw the cell lifetime.
+
+        Thermal retention failures are exponentially distributed; the
+        fixed-window model is the mean of this draw.  Called on every
+        fill and every cell rewrite (store hit / refresh).
+        """
+        if self._retention_rng is not None:
+            entry.life = max(1, int(self._retention_rng.exponential(self.retention_ticks)))
+
+    def _account_refresh(self, entry: Entry, tick: int) -> None:
+        """Charge the refresh rewrites that kept ``entry`` alive until now."""
+        if self._refresh_period is None:
+            return
+        elapsed = tick - entry.last_refresh
+        if elapsed >= self._refresh_period:
+            n = elapsed // self._refresh_period
+            self.stats.refresh_writes += int(n)
+            entry.last_refresh += int(n) * self._refresh_period
+
+    def _account_awake(self, entry: Entry, tick: int) -> None:
+        """Drowsy accounting: a line stays at full voltage for
+        ``drowsy_window`` ticks after its last touch, then drops into
+        the state-preserving drowsy mode until touched again."""
+        if self.drowsy_window is None:
+            return
+        elapsed = tick - entry.last_touch
+        awake = elapsed if elapsed < self.drowsy_window else self.drowsy_window
+        self.awake_block_ticks += awake
+        if elapsed > self.drowsy_window:
+            self.drowsy_wakeups += 1
+        entry.last_touch = tick
+
+    def _retire_expired(self, entry: Entry) -> None:
+        """Account the natural death of an expired block."""
+        if entry.dirty:
+            # The retention controller must drain dirty data before the
+            # cell decays; we charge that early write-back here.
+            self.stats.expiry_writebacks += 1
+
+    # ------------------------------------------------------------------
+    # the access path
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool,
+        priv: int,
+        tick: int,
+        demand: bool = True,
+    ) -> AccessResult:
+        """Look up ``addr``; fill on miss.  Returns the access outcome.
+
+        ``demand=False`` marks write-backs arriving from the level above:
+        they allocate on miss without a backing-store fetch and are
+        excluded from demand-miss statistics (they sit off the critical
+        path).
+        """
+        st = self.stats
+        st.accesses += 1
+        st.accesses_by_priv[priv] += 1
+        if demand:
+            st.demand_accesses += 1
+        if is_write:
+            st.write_accesses += 1
+        self.epoch_accesses += 1
+
+        set_i, tag = self._index(addr)
+        tagmap = self._tagmaps[set_i]
+        frames = self._frames[set_i]
+        pstate = self._pstates[set_i]
+        way = tagmap.get(tag)
+
+        expired = False
+        if way is not None and way >= self.powered_ways:
+            # The block sits in a power-gated way: unreachable, so this
+            # access misses.  Drop the stale mapping; the frame itself is
+            # cleared so the refill cannot create a duplicate tag.
+            self.gated_misses += 1
+            frames[way] = None
+            del tagmap[tag]
+            way = None
+        if way is not None:
+            entry = frames[way]
+            if self._is_expired(entry, tick):
+                # The block was here but its cells have decayed: a miss
+                # caused purely by finite retention.
+                expired = True
+                st.expiry_invalidations += 1
+                self._retire_expired(entry)
+                frames[way] = None
+                del tagmap[tag]
+                way = None
+            else:
+                self._account_refresh(entry, tick)
+                self._account_awake(entry, tick)
+                st.hits += 1
+                rank = (
+                    self.policy.hit_rank(pstate, way, self.powered_ways)
+                    if self._track_ranks
+                    else None
+                )
+                if rank is not None and rank < len(self.epoch_rank_hits):
+                    self.epoch_rank_hits[rank] += 1
+                entry.dirty = entry.dirty or is_write
+                if is_write:
+                    entry.last_refresh = tick  # a store rewrites the cells
+                    self._draw_life(entry)
+                self.policy.on_hit(pstate, way)
+                return AccessResult(True, False, False, rank)
+
+        # Miss path ----------------------------------------------------
+        st.misses += 1
+        st.misses_by_priv[priv] += 1
+        if demand:
+            st.demand_misses += 1
+        self.epoch_misses += 1
+
+        victim_way = self._find_frame(set_i, tick)
+        victim = frames[victim_way]
+        writeback = False
+        victim_addr = None
+        victim_priv = None
+        if victim is not None:
+            st.evictions += 1
+            st.evictions_cross[victim.priv][priv] += 1
+            if self._is_expired(victim, tick):
+                self._retire_expired(victim)
+            else:
+                self._account_refresh(victim, tick)
+                if victim.dirty:
+                    st.writebacks += 1
+                    writeback = True
+                    victim_addr = self._frame_addr(set_i, victim.tag)
+                    victim_priv = victim.priv
+            self._account_awake(victim, tick)
+            del tagmap[victim.tag]
+        new_entry = Entry(tag, priv, is_write, tick)
+        self._draw_life(new_entry)
+        frames[victim_way] = new_entry
+        tagmap[tag] = victim_way
+        st.fills += 1
+        self.policy.on_fill(pstate, victim_way)
+        return AccessResult(False, writeback, expired, None, victim_addr, victim_priv)
+
+    def _find_frame(self, set_i: int, tick: int) -> int:
+        """Pick the frame to fill: free first, expired next, else victim.
+
+        Only powered ways are candidates; gated frames keep their
+        (retained) contents untouched."""
+        frames = self._frames[set_i]
+        expired_way = None
+        for w in range(self.powered_ways):
+            entry = frames[w]
+            if entry is None:
+                return w
+            if expired_way is None and self._is_expired(entry, tick):
+                expired_way = w
+        if expired_way is not None:
+            # Reclaim a decayed frame: its data is already gone, so this
+            # is not an interference eviction.
+            entry = frames[expired_way]
+            self._retire_expired(entry)
+            del self._tagmaps[set_i][entry.tag]
+            frames[expired_way] = None
+            return expired_way
+        return self.policy.victim(self._pstates[set_i], self.powered_ways)
+
+    # ------------------------------------------------------------------
+    # maintenance operations
+
+    def resize_ways(self, new_ways: int, tick: int) -> int:
+        """Change the way count in place; returns blocks displaced.
+
+        Shrinking first compacts blocks from dropped ways into free
+        low-way frames, then evicts (writing back dirty data) whatever
+        does not fit.  Growing adds empty frames.  Replacement state is
+        resized via the policy's ``resize`` hook.
+        """
+        if new_ways <= 0:
+            raise ValueError(f"new_ways must be positive, got {new_ways}")
+        if new_ways == self.ways:
+            return 0
+        displaced = 0
+        if new_ways < self.ways:
+            for set_i in range(self._num_sets):
+                frames = self._frames[set_i]
+                tagmap = self._tagmaps[set_i]
+                overflow = [e for e in frames[new_ways:] if e is not None]
+                frames[:] = frames[:new_ways]
+                free = [w for w in range(new_ways) if frames[w] is None]
+                for entry in overflow:
+                    if free:
+                        w = free.pop()
+                        frames[w] = entry
+                        tagmap[entry.tag] = w
+                    else:
+                        displaced += 1
+                        self.stats.evictions += 1
+                        self.stats.evictions_cross[entry.priv][entry.priv] += 1
+                        if self._is_expired(entry, tick):
+                            self._retire_expired(entry)
+                        else:
+                            self._account_refresh(entry, tick)
+                            if entry.dirty:
+                                self.stats.writebacks += 1
+                        del tagmap[entry.tag]
+                self._pstates[set_i] = self.policy.resize(self._pstates[set_i], self.ways, new_ways)
+                # Re-register compacted blocks with the policy so their
+                # recency state exists at the new position.
+                for w, entry in enumerate(frames):
+                    if entry is not None:
+                        self.policy.on_fill(self._pstates[set_i], w)
+        else:
+            for set_i in range(self._num_sets):
+                self._frames[set_i].extend([None] * (new_ways - self.ways))
+                self._pstates[set_i] = self.policy.resize(self._pstates[set_i], self.ways, new_ways)
+        self.ways = new_ways
+        self.powered_ways = new_ways  # a physical resize repowers the array
+        if len(self.epoch_rank_hits) < new_ways:
+            self.epoch_rank_hits.extend([0] * (new_ways - len(self.epoch_rank_hits)))
+        return displaced
+
+    def set_powered_ways(self, new_powered: int, tick: int) -> int:
+        """Power-gate or re-enable ways in place; returns dirty flushes.
+
+        Gating a way stops its leakage.  What happens to its contents
+        depends on the technology:
+
+        * ``retains_when_gated=True`` (STT-RAM): cells are non-volatile,
+          so data stays put — but the way is unsearchable while gated, and
+          the retention clock keeps running, so long-gated blocks decay
+          normally.  Dirty blocks are flushed (written back) at gating
+          time because a decayed dirty block would lose data.
+        * ``retains_when_gated=False`` (SRAM): contents are lost; every
+          block in the gated ways is flushed-if-dirty and invalidated.
+
+        Re-enabling ways never costs anything: retained entries become
+        visible again and the expiry check culls the stale ones.
+        """
+        if not 1 <= new_powered <= self.ways:
+            raise ValueError(
+                f"new_powered must be in [1, {self.ways}], got {new_powered}"
+            )
+        flushes = 0
+        if new_powered < self.powered_ways:
+            for set_i in range(self._num_sets):
+                frames = self._frames[set_i]
+                for w in range(new_powered, self.powered_ways):
+                    entry = frames[w]
+                    if entry is None:
+                        continue
+                    if entry.dirty and not self._is_expired(entry, tick):
+                        self._account_refresh(entry, tick)
+                        self.stats.writebacks += 1
+                        self.stats.gate_flushes += 1
+                        entry.dirty = False
+                        flushes += 1
+                    elif entry.dirty:
+                        self._retire_expired(entry)
+                        entry.dirty = False
+                    if not self.retains_when_gated:
+                        del self._tagmaps[set_i][entry.tag]
+                        frames[w] = None
+        self.powered_ways = new_powered
+        return flushes
+
+    def finalize(self, tick: int) -> None:
+        """Settle lazy accounting at end of simulation.
+
+        Charges outstanding refresh rewrites (``rewrite`` mode) and the
+        expiry write-backs of dirty blocks that decayed unobserved
+        (``invalidate`` mode).
+        """
+        for set_i in range(self._num_sets):
+            for entry in self._frames[set_i]:
+                if entry is None:
+                    continue
+                if self._is_expired(entry, tick):
+                    self._retire_expired(entry)
+                    entry.dirty = False  # drained; avoid double counting
+                else:
+                    self._account_refresh(entry, tick)
+                self._account_awake(entry, tick)
+
+    def invalidate(self, addr: int, tick: int) -> Entry | None:
+        """Remove the block holding ``addr``; returns its entry or None.
+
+        No statistics are charged — the caller owns the consequence
+        (e.g. a hybrid cache migrating the block charges the read and
+        the destination write itself).  Outstanding lazy accounting
+        (refresh, drowsy awake time) is settled first.
+        """
+        set_i, tag = self._index(addr)
+        way = self._tagmaps[set_i].get(tag)
+        if way is None:
+            return None
+        entry = self._frames[set_i][way]
+        self._account_refresh(entry, tick)
+        self._account_awake(entry, tick)
+        del self._tagmaps[set_i][tag]
+        self._frames[set_i][way] = None
+        return entry
+
+    def begin_epoch(self) -> None:
+        """Reset the epoch counters read by the dynamic controller."""
+        self.epoch_accesses = 0
+        self.epoch_misses = 0
+        self.epoch_rank_hits = [0] * self.ways
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def occupancy(self) -> float:
+        """Fraction of frames currently holding a block."""
+        filled = sum(len(t) for t in self._tagmaps)
+        return filled / (self._num_sets * self.ways)
+
+    def contains(self, addr: int) -> bool:
+        """True when the block holding ``addr`` is present (may be expired)."""
+        set_i, tag = self._index(addr)
+        return tag in self._tagmaps[set_i]
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.name!r}, {self.size_bytes // 1024} KB, "
+            f"{self.ways}-way, policy={self.policy.name}, "
+            f"retention={self.retention_ticks}, refresh={self.refresh_mode})"
+        )

@@ -1,0 +1,138 @@
+"""Way-mask partitioned cache: single array, per-privilege way masks.
+
+:class:`~repro.cache.partitioned.PartitionedCache` models the paper's
+partition as two independent segment arrays.  Real hardware would more
+likely implement it inside one array with *way masks*: an access at
+privilege *p* may hit in any way but may only **allocate** into the ways
+of its mask (Cache-Allocation-Technology style), or — in the strict
+variant modelled here — both lookup and allocation are confined to the
+mask, which is exactly equivalent to two segment arrays sharing a set
+index.
+
+This module exists for two reasons:
+
+* it is the implementation a hardware team would start from, so the
+  library should offer it, and
+* the equivalence between the two models (`tests/test_waypart.py`
+  proves hit-for-hit equality against two ``SetAssociativeCache``
+  segments) validates both implementations.
+"""
+
+from __future__ import annotations
+
+from repro.cache.block import Entry
+from repro.cache.replacement import LRUPolicy
+from repro.cache.stats import CacheStats
+from repro.config import CacheGeometry
+from repro.types import Privilege
+
+__all__ = ["WayMaskPartitionedCache"]
+
+
+class WayMaskPartitionedCache:
+    """One physical array whose ways are statically assigned by privilege.
+
+    Args:
+        geometry: Geometry of the whole array.
+        user_ways: Number of ways (the low-indexed ones) reserved for
+            user-privilege accesses.  The remaining
+            ``geometry.associativity - user_ways`` ways belong to the
+            kernel.  Both regions must be non-empty.
+
+    The replacement policy is true LRU per privilege region (matching
+    the segment model's default).
+    """
+
+    def __init__(self, geometry: CacheGeometry, user_ways: int) -> None:
+        geometry.validate()
+        if not 0 < user_ways < geometry.associativity:
+            raise ValueError(
+                f"user_ways must leave both regions non-empty: "
+                f"0 < {user_ways} < {geometry.associativity}"
+            )
+        self.geometry = geometry
+        self.user_ways = user_ways
+        self.kernel_ways = geometry.associativity - user_ways
+        self.stats = CacheStats()
+        self._policy = LRUPolicy()
+        self._block_bits = geometry.block_size.bit_length() - 1
+        self._num_sets = geometry.num_sets
+        self._set_mask = self._num_sets - 1
+        self._set_bits = self._num_sets.bit_length() - 1
+        ways = geometry.associativity
+        self._frames: list[list[Entry | None]] = [[None] * ways for _ in range(self._num_sets)]
+        # one LRU state per set, shared; victim selection is restricted
+        # to the accessing privilege's way range
+        self._pstates = [self._policy.init_set(ways) for _ in range(self._num_sets)]
+
+    def _index(self, addr: int) -> tuple[int, int]:
+        blk = addr >> self._block_bits
+        return blk & self._set_mask, blk >> self._set_bits
+
+    def _way_range(self, priv: int) -> range:
+        if priv == int(Privilege.USER):
+            return range(0, self.user_ways)
+        return range(self.user_ways, self.geometry.associativity)
+
+    def access(self, addr: int, is_write: bool, priv: int, tick: int,
+               demand: bool = True) -> bool:
+        """Look up ``addr`` within the privilege's way mask; fill on miss.
+
+        Returns True on hit.  Statistics mirror
+        :class:`~repro.cache.set_assoc.SetAssociativeCache`'s counters.
+        """
+        st = self.stats
+        st.accesses += 1
+        st.accesses_by_priv[priv] += 1
+        if demand:
+            st.demand_accesses += 1
+        if is_write:
+            st.write_accesses += 1
+
+        set_i, tag = self._index(addr)
+        frames = self._frames[set_i]
+        pstate = self._pstates[set_i]
+        mask = self._way_range(priv)
+
+        for way in mask:
+            entry = frames[way]
+            if entry is not None and entry.tag == tag:
+                st.hits += 1
+                entry.dirty = entry.dirty or is_write
+                self._policy.on_hit(pstate, way)
+                return True
+
+        st.misses += 1
+        st.misses_by_priv[priv] += 1
+        if demand:
+            st.demand_misses += 1
+
+        victim_way = None
+        for way in mask:
+            if frames[way] is None:
+                victim_way = way
+                break
+        if victim_way is None:
+            # LRU within the mask: oldest sequence number wins
+            victim_way = min(mask, key=lambda w: pstate[w])
+            victim = frames[victim_way]
+            st.evictions += 1
+            st.evictions_cross[victim.priv][priv] += 1
+            if victim.dirty:
+                st.writebacks += 1
+        frames[victim_way] = Entry(tag, priv, is_write, tick)
+        st.fills += 1
+        self._policy.on_fill(pstate, victim_way)
+        return False
+
+    @property
+    def size_bytes(self) -> int:
+        """Capacity of the whole array."""
+        return self.geometry.size_bytes
+
+    def occupancy(self) -> float:
+        """Fraction of frames holding a block."""
+        filled = sum(
+            sum(e is not None for e in frames) for frames in self._frames
+        )
+        return filled / (self._num_sets * self.geometry.associativity)

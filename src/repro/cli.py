@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available apps, designs, policies and retention classes.
+* ``run`` — one design on one app, with optional prefetcher/DRAM model.
+* ``figure N`` / ``table N`` — regenerate one artifact of the paper.
+* ``trace`` — generate a workload trace and save it as ``.npz``.
+* ``search`` — the static-partition design-space search.
+* ``validate`` — check the paper's headline claims end to end (exits
+  non-zero if a claim band fails, for CI use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cache.hierarchy import l1_filter
+from repro.cache.prefetch import make_prefetcher
+from repro.cache.replacement import POLICY_NAMES
+from repro.config import DEFAULT_PLATFORM
+from repro.core.designs import DESIGN_NAMES, make_design
+from repro.core.search import find_static_partition
+from repro.dram import DRAMModel
+from repro.energy.technology import RETENTION_CLASSES
+from repro.experiments import (
+    EXPERIMENT_TRACE_LENGTH,
+    fig1_kernel_share,
+    fig2_interference,
+    fig3_size_sweep,
+    fig4_static_space,
+    fig5_intervals,
+    fig6_energy_breakdown,
+    fig7_dynamic_timeline,
+    fig8_energy_summary,
+    format_percent,
+    format_table,
+    table1_configuration,
+    table2_technology,
+    table3_workloads,
+    table4_performance,
+)
+from repro.trace.generator import generate_trace
+from repro.trace.io import save_trace
+from repro.trace.workloads import APP_NAMES, app_profile, suite_trace
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    1: fig1_kernel_share,
+    2: fig2_interference,
+    3: fig3_size_sweep,
+    4: fig4_static_space,
+    5: fig5_intervals,
+    6: fig6_energy_breakdown,
+    7: lambda length: fig7_dynamic_timeline("browser", length),
+    8: fig8_energy_summary,
+}
+
+_TABLES = {
+    1: lambda length: table1_configuration(),
+    2: lambda length: table2_technology(),
+    3: lambda length: table3_workloads(),
+    4: table4_performance,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-efficient user/kernel-partitioned L2 cache reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show available apps, designs and policies")
+
+    run_p = sub.add_parser("run", help="run one design on one app")
+    run_p.add_argument("--app", choices=APP_NAMES, default="browser")
+    run_p.add_argument("--design", choices=DESIGN_NAMES, default="static-stt")
+    run_p.add_argument("--length", type=int, default=240_000)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--prefetcher", choices=("nextline", "stride"))
+    run_p.add_argument("--banked-dram", action="store_true",
+                       help="use the bank/row-buffer DRAM model")
+
+    fig_p = sub.add_parser("figure", help="regenerate one figure")
+    fig_p.add_argument("number", type=int, choices=sorted(_FIGURES))
+    fig_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+
+    tab_p = sub.add_parser("table", help="regenerate one table")
+    tab_p.add_argument("number", type=int, choices=sorted(_TABLES))
+    tab_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+
+    trace_p = sub.add_parser("trace", help="generate a trace and save as .npz")
+    trace_p.add_argument("--app", choices=APP_NAMES, required=True)
+    trace_p.add_argument("--out", required=True)
+    trace_p.add_argument("--length", type=int, default=240_000)
+    trace_p.add_argument("--seed", type=int, default=0)
+
+    search_p = sub.add_parser("search", help="static-partition design-space search")
+    search_p.add_argument("--length", type=int, default=240_000)
+    search_p.add_argument("--tolerance", type=float, default=0.10)
+    search_p.add_argument("--apps", nargs="+", choices=APP_NAMES,
+                          default=["browser", "social", "game"])
+
+    val_p = sub.add_parser("validate", help="check the paper's headline claims")
+    val_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+
+    exp_p = sub.add_parser("export", help="dump the (design x app) grid as CSV")
+    exp_p.add_argument("--out", required=True)
+    exp_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    print(format_table("apps", ["name", "description"],
+                       [[a, app_profile(a).description] for a in APP_NAMES],
+                       align_left_cols=2), file=out)
+    print(file=out)
+    print(format_table("designs", ["name"], [[d] for d in DESIGN_NAMES]), file=out)
+    print(file=out)
+    print(format_table("replacement policies", ["name"], [[p] for p in POLICY_NAMES]), file=out)
+    print(file=out)
+    print(format_table("retention classes", ["name", "window"],
+                       [[n, "infinite" if c.retention_s is None else f"{c.retention_s * 1e3:.0f} ms"]
+                        for n, c in RETENTION_CLASSES.items()], align_left_cols=2), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    trace = suite_trace(args.app, args.length, args.seed)
+    stream = l1_filter(trace, DEFAULT_PLATFORM)
+    design = make_design(args.design)
+    kwargs = {}
+    if args.prefetcher:
+        if args.design == "dynamic-stt":
+            print("error: prefetcher is not supported by the dynamic design", file=sys.stderr)
+            return 2
+        kwargs["prefetcher"] = make_prefetcher(args.prefetcher)
+    if args.banked_dram:
+        if args.design == "dynamic-stt":
+            print("error: banked DRAM is not supported by the dynamic design", file=sys.stderr)
+            return 2
+        kwargs["dram_model"] = DRAMModel()
+    result = design.run(stream, DEFAULT_PLATFORM, **kwargs)
+    stats = result.l2_stats
+    energy = result.l2_energy
+    rows = [
+        ["L2 accesses", f"{stats.accesses:,}"],
+        ["demand miss rate", format_percent(stats.demand_miss_rate, 2)],
+        ["cross-priv evictions", f"{stats.cross_privilege_evictions:,}"],
+        ["expiry misses", f"{stats.expiry_invalidations:,}"],
+        ["L2 energy", f"{energy.total_j * 1e6:.1f} uJ"],
+        ["  leakage", f"{energy.leakage_j * 1e6:.1f} uJ"],
+        ["  dynamic", f"{energy.dynamic_j * 1e6:.1f} uJ"],
+        ["busy cycles", f"{result.timing.busy_cycles:,.0f}"],
+        ["IPC", f"{result.timing.ipc:.3f}"],
+    ]
+    print(format_table(f"{args.design} on {args.app} ({args.length:,} accesses)",
+                       ["metric", "value"], rows, align_left_cols=2), file=out)
+    return 0
+
+
+def _cmd_validate(length, out) -> int:
+    checks = []
+    share = fig1_kernel_share(length).mean
+    checks.append(("kernel share > 40%", share > 0.40, f"{share:.1%}"))
+    summary = fig8_energy_summary(length)
+    s_saving = summary.saving("static-stt")
+    d_saving = summary.saving("dynamic-stt")
+    checks.append(("static saving in [65%, 85%]", 0.65 < s_saving < 0.85, f"{s_saving:.1%}"))
+    checks.append(("dynamic saving in [75%, 92%]", 0.75 < d_saving < 0.92, f"{d_saving:.1%}"))
+    checks.append(("dynamic beats static", d_saving > s_saving, ""))
+    perf = table4_performance(length)
+    s_loss = perf.mean("static-stt")
+    d_loss = perf.mean("dynamic-stt")
+    checks.append(("static perf loss < 6%", s_loss < 0.06, f"{s_loss:.2%}"))
+    checks.append(("dynamic perf loss < 12%", d_loss < 0.12, f"{d_loss:.2%}"))
+    rows = [[name, "PASS" if ok else "FAIL", measured] for name, ok, measured in checks]
+    print(format_table("headline claim validation", ["claim", "status", "measured"],
+                       rows, align_left_cols=1), file=out)
+    return 0 if all(ok for _, ok, _ in checks) else 1
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "figure":
+        print(_FIGURES[args.number](args.length).render(), file=out)
+        return 0
+    if args.command == "table":
+        print(_TABLES[args.number](args.length).render(), file=out)
+        return 0
+    if args.command == "trace":
+        trace = generate_trace(app_profile(args.app), args.length, args.seed)
+        save_trace(trace, args.out)
+        print(f"wrote {trace.describe()} -> {args.out}", file=out)
+        return 0
+    if args.command == "search":
+        streams = [
+            l1_filter(suite_trace(app, args.length), DEFAULT_PLATFORM) for app in args.apps
+        ]
+        point = find_static_partition(streams, DEFAULT_PLATFORM, args.tolerance)
+        print(
+            f"chosen partition: {point.user_ways} user + {point.kernel_ways} kernel ways "
+            f"({point.total_bytes // 1024} KB) at miss rate "
+            f"{format_percent(point.demand_miss_rate, 2)}",
+            file=out,
+        )
+        return 0
+    if args.command == "validate":
+        return _cmd_validate(args.length, out)
+    if args.command == "export":
+        from repro.experiments.export import export_grid_csv
+
+        rows = export_grid_csv(args.out, args.length)
+        print(f"wrote {rows} rows -> {args.out}", file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")

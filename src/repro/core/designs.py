@@ -1,0 +1,42 @@
+"""Registry of the paper's canonical design points.
+
+Four designs carry the evaluation (Figures 6/8, Table 4):
+
+* ``baseline`` — shared 1 MB 16-way SRAM L2.
+* ``static-sram`` — static user/kernel partition, shrunk to 4+2 ways
+  (384 KB), still SRAM: isolates the benefit of partition + shrink.
+* ``static-stt`` — the paper's *static technique*: same partition on
+  multi-retention STT-RAM (user medium, kernel short retention).
+* ``dynamic-stt`` — the paper's *dynamic technique*: epoch-resized
+  segments on short-retention STT-RAM.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseline import BaselineDesign
+from repro.core.dynamic_partition import DynamicPartitionDesign
+from repro.core.multi_retention import multi_retention_design
+from repro.core.static_partition import StaticPartitionDesign
+
+__all__ = ["DESIGN_NAMES", "make_design", "paper_designs"]
+
+#: Evaluation order used by every figure and table.
+DESIGN_NAMES = ("baseline", "static-sram", "static-stt", "dynamic-stt")
+
+
+def make_design(name: str):
+    """Instantiate one canonical design by name."""
+    if name == "baseline":
+        return BaselineDesign()
+    if name == "static-sram":
+        return StaticPartitionDesign(name="static-sram")
+    if name == "static-stt":
+        return multi_retention_design()
+    if name == "dynamic-stt":
+        return DynamicPartitionDesign()
+    raise ValueError(f"unknown design {name!r}; choose from {DESIGN_NAMES}")
+
+
+def paper_designs() -> dict[str, object]:
+    """All four canonical designs keyed by name, in evaluation order."""
+    return {name: make_design(name) for name in DESIGN_NAMES}

@@ -1,0 +1,138 @@
+"""Drowsy-SRAM baseline (extension: the paper's natural SRAM competitor).
+
+Before reaching for a new memory technology, an SRAM designer would try
+*drowsy caching* (Flautner et al., ISCA 2002): lines untouched for a
+window drop to a state-preserving low-voltage mode that cuts their
+leakage by ~3-4x, waking with a one-cycle penalty on the next access.
+Comparing the paper's STT-RAM designs against this stronger SRAM
+baseline shows how much of the win survives: drowsy mode attacks the
+same leakage but cannot approach STT-RAM's near-zero cell leakage, and
+it must keep full voltage on everything recently used.
+
+The cache engine does exact awake-time accounting per line (see
+``SetAssociativeCache.drowsy_window``); this design converts awake/
+drowsy byte-seconds into leakage energy and charges the wake-up cycles.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import L2Stream
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import CacheGeometry, PlatformConfig
+from repro.core.result import DesignResult, SegmentReport
+from repro.energy.model import EnergyBreakdown, dram_energy_j
+from repro.energy.technology import MemoryTechnology, sram
+from repro.timing.cpu import compute_timing
+
+__all__ = ["DrowsySRAMDesign", "DROWSY_LEAKAGE_SCALE", "DEFAULT_DROWSY_WINDOW"]
+
+#: Leakage of a drowsy line relative to full voltage (ISCA'02 ballpark).
+DROWSY_LEAKAGE_SCALE = 0.28
+
+#: Ticks a line stays at full voltage after its last access.
+DEFAULT_DROWSY_WINDOW = 4_000
+
+#: Extra cycles to wake a drowsy line on access.
+WAKEUP_CYCLES = 1
+
+
+class DrowsySRAMDesign:
+    """Shared SRAM L2 with per-line drowsy mode.
+
+    Args:
+        geometry: L2 geometry; defaults to the platform L2.
+        drowsy_window: Full-voltage window after each access, in ticks.
+        tech: SRAM parameter set (the leakage number is the full-voltage
+            figure; drowsy lines burn ``DROWSY_LEAKAGE_SCALE`` of it).
+        policy: Replacement policy.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry | None = None,
+        drowsy_window: int = DEFAULT_DROWSY_WINDOW,
+        tech: MemoryTechnology | None = None,
+        policy: str = "lru",
+        name: str = "drowsy-sram",
+    ) -> None:
+        if drowsy_window <= 0:
+            raise ValueError(f"drowsy_window must be positive, got {drowsy_window}")
+        self.geometry = geometry
+        self.drowsy_window = drowsy_window
+        self.tech = tech if tech is not None else sram()
+        if self.tech.retention is not None:
+            raise ValueError("drowsy mode is an SRAM technique; use a retention-free tech")
+        self.policy = policy
+        self.name = name
+
+    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
+        """Replay ``stream``; leakage splits into awake and drowsy parts."""
+        geometry = self.geometry if self.geometry is not None else platform.l2
+        cache = SetAssociativeCache(
+            geometry, self.policy, drowsy_window=self.drowsy_window, name="l2-drowsy"
+        )
+        for tick, addr, priv, is_write, is_demand in zip(
+            stream.ticks.tolist(), stream.addrs.tolist(), stream.privs.tolist(),
+            stream.writes.tolist(), stream.demand.tolist(),
+        ):
+            cache.access(addr, is_write, priv, tick, is_demand)
+        cache.finalize(stream.duration_ticks)
+
+        stats = cache.stats
+        # wake-ups delay the demand accesses that find their line drowsy
+        extra_read = (
+            cache.drowsy_wakeups * WAKEUP_CYCLES / stats.demand_accesses
+            if stats.demand_accesses
+            else 0.0
+        )
+        timing = compute_timing(
+            platform,
+            instructions=stream.instructions,
+            duration_ticks=stream.duration_ticks,
+            l1_demand_misses=stream.l1_demand_misses,
+            l2_demand_misses=stats.demand_misses,
+            l2_extra_read_cycles=extra_read,
+            l2_extra_write_cycles=0.0,
+            l2_writes=stats.total_writes,
+        )
+
+        seconds = timing.seconds(platform)
+        size = cache.size_bytes
+        total_byte_seconds = size * seconds
+        # exact awake integral from the engine, scaled (like the dynamic
+        # design) for the stall/CPI dilation beyond trace ticks
+        dilation = timing.total_cycles / max(1, stream.duration_ticks)
+        awake_byte_seconds = (
+            cache.awake_block_ticks * geometry.block_size * dilation / platform.clock_hz
+        )
+        awake_byte_seconds = min(awake_byte_seconds, total_byte_seconds)
+        drowsy_byte_seconds = total_byte_seconds - awake_byte_seconds
+        mb = 1024 * 1024
+        leakage_j = self.tech.leakage_mw_per_mb * 1e-3 * (
+            awake_byte_seconds + DROWSY_LEAKAGE_SCALE * drowsy_byte_seconds
+        ) / mb
+        read_j = stats.accesses * self.tech.read_energy_nj(size) * 1e-9
+        write_j = (stats.fills + stats.write_accesses) * self.tech.write_energy_nj(size) * 1e-9
+        energy = EnergyBreakdown(leakage_j, read_j, write_j, 0.0)
+
+        report = SegmentReport(
+            name="shared",
+            tech_name=f"{self.tech.name}-drowsy",
+            size_bytes=size,
+            byte_seconds=awake_byte_seconds + DROWSY_LEAKAGE_SCALE * drowsy_byte_seconds,
+            stats=stats,
+            energy=energy,
+        )
+        return DesignResult(
+            design=self.name,
+            app=stream.name,
+            segments=(report,),
+            timing=timing,
+            dram_j=dram_energy_j(stats.demand_misses, stats.writebacks),
+            extras={
+                "drowsy_wakeups": cache.drowsy_wakeups,
+                "awake_fraction": awake_byte_seconds / total_byte_seconds
+                if total_byte_seconds
+                else 0.0,
+            },
+        )

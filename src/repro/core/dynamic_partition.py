@@ -1,0 +1,300 @@
+"""Dynamic user/kernel partitioning (the paper's third technique).
+
+The static shrink fixes one size for the whole run, but demand on the
+two segments varies: syscall storms need kernel capacity, rendering
+bursts need user capacity, and during inter-event idle both needs drop
+to nothing.  The dynamic design resizes each segment at epoch
+granularity and power-gates the unused ways, paying leakage only for
+capacity that is earning hits.
+
+Controller per epoch and per segment (classic utility feedback):
+
+* an idle segment (almost no accesses) donates ways — this is where the
+  design beats the static one, because interactive workloads are idle
+  most of the wall-clock time;
+* a thrashing segment (high demand miss rate *and* hits spread into its
+  last way) grows back one way at a time up to its cap;
+* a segment whose last (LRU-most) way earns almost no hits shrinks — the
+  way is dead weight.
+
+Short-retention STT-RAM integrates naturally: blocks gated off are lost
+anyway, and the short write pulse keeps the resize/refill traffic cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import L2Stream
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import PlatformConfig
+from repro.core.result import DesignResult, SegmentReport
+from repro.energy.model import dram_energy_j, segment_energy
+from repro.energy.technology import MemoryTechnology, stt_ram
+from repro.timing.cpu import compute_timing
+from repro.types import Privilege
+
+__all__ = ["DynamicControllerConfig", "DynamicPartitionDesign"]
+
+
+@dataclass(frozen=True)
+class DynamicControllerConfig:
+    """Tuning of the epoch-based resize controller."""
+
+    epoch_ticks: int = 25_000
+    min_ways: int = 1
+    max_user_ways: int = 10
+    max_kernel_ways: int = 6
+    start_user_ways: int = 8
+    start_kernel_ways: int = 4
+    idle_accesses: int = 24
+    decision_accesses: int = 300
+    grow_miss_rate: float = 0.22
+    grow_step: int = 3
+    grow_deep_util: float = 0.004
+    shrink_miss_rate: float = 0.12
+    shrink_last_way_util: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.epoch_ticks <= 0:
+            raise ValueError("epoch_ticks must be positive")
+        if not (1 <= self.min_ways <= self.start_user_ways <= self.max_user_ways):
+            raise ValueError("need min_ways <= start_user_ways <= max_user_ways")
+        if not (1 <= self.min_ways <= self.start_kernel_ways <= self.max_kernel_ways):
+            raise ValueError("need min_ways <= start_kernel_ways <= max_kernel_ways")
+        if not 0.0 <= self.shrink_miss_rate <= self.grow_miss_rate <= 1.0:
+            raise ValueError(
+                "need 0 <= shrink_miss_rate <= grow_miss_rate <= 1 "
+                "(the gap is the controller's hysteresis band)"
+            )
+        if self.grow_step < 1:
+            raise ValueError("grow_step must be >= 1")
+
+
+class _Segment:
+    """Run-time state of one dynamically sized segment."""
+
+    def __init__(
+        self,
+        name: str,
+        cache: SetAssociativeCache,
+        tech: MemoryTechnology,
+        max_ways: int,
+        block_bytes_per_way: int,
+    ) -> None:
+        self.name = name
+        self.cache = cache
+        self.tech = tech
+        self.max_ways = max_ways
+        self.bytes_per_way = block_bytes_per_way
+        self.byte_ticks = 0
+        self.last_integral_tick = 0
+        self.resizes = 0
+        self.busy_ways = cache.powered_ways
+
+    def wake(self, tick: int) -> None:
+        """Restore the pre-idle way count on the first access after a
+        gated period (wake-on-demand; power-up latency is negligible
+        against the idle spans being bridged)."""
+        if self.cache.powered_ways < self.busy_ways:
+            self.integrate_to(tick)
+            self.cache.set_powered_ways(self.busy_ways, tick)
+            self.resizes += 1
+
+    def integrate_to(self, tick: int) -> None:
+        """Accumulate powered-capacity x time up to ``tick``."""
+        if tick > self.last_integral_tick:
+            self.byte_ticks += (tick - self.last_integral_tick) * self.cache.powered_bytes
+            self.last_integral_tick = tick
+
+
+class DynamicPartitionDesign:
+    """Dynamically partitioned L2 with power-gated ways.
+
+    Args:
+        config: Controller tuning.
+        user_tech/kernel_tech: Array technologies (default: both
+            short-retention STT-RAM, the paper's maximal-savings point).
+        refresh_mode: Decay handling for finite-retention technologies.
+        policy: Replacement policy (LRU recommended: the controller
+            reads LRU-rank utilities; with other policies it falls back
+            to miss-rate-only control).
+    """
+
+    def __init__(
+        self,
+        config: DynamicControllerConfig | None = None,
+        user_tech: MemoryTechnology | None = None,
+        kernel_tech: MemoryTechnology | None = None,
+        refresh_mode: str = "invalidate",
+        policy: str = "lru",
+        name: str = "dynamic-stt",
+    ) -> None:
+        self.config = config if config is not None else DynamicControllerConfig()
+        self.user_tech = user_tech if user_tech is not None else stt_ram("short")
+        self.kernel_tech = kernel_tech if kernel_tech is not None else stt_ram("short")
+        self.refresh_mode = refresh_mode
+        self.policy = policy
+        self.name = name
+
+    def _make_segment(
+        self, platform: PlatformConfig, label: str, start_ways: int, max_ways: int,
+        tech: MemoryTechnology,
+    ) -> _Segment:
+        geometry = platform.l2.with_ways(max_ways)
+        retention = tech.retention_ticks(platform.clock_hz)
+        cache = SetAssociativeCache(
+            geometry,
+            self.policy,
+            retention_ticks=retention,
+            refresh_mode="none" if retention is None else self.refresh_mode,
+            retains_when_gated=tech.non_volatile,
+            name=f"l2-{label}",
+        )
+        cache.set_powered_ways(start_ways, 0)
+        bytes_per_way = geometry.num_sets * geometry.block_size
+        return _Segment(label, cache, tech, max_ways, bytes_per_way)
+
+    def _controller_step(self, seg: _Segment, tick: int) -> None:
+        """Apply one epoch decision to ``seg`` at ``tick``."""
+        cfg = self.config
+        cache = seg.cache
+        accesses = cache.epoch_accesses
+        ways = cache.powered_ways
+        target = ways
+        if accesses < cfg.idle_accesses:
+            # The segment is idle (the app sleeps between interactions):
+            # gate everything except the minimum.  The non-volatile array
+            # retains contents, and the first access after the idle wakes
+            # the segment back to ``busy_ways`` (see ``_Segment.wake``).
+            target = cfg.min_ways
+        elif accesses < cfg.decision_accesses:
+            # Too few samples for a trustworthy miss-rate estimate: hold
+            # (deciding on noise walks busy_ways away from the demand).
+            target = seg.busy_ways
+        else:
+            mr = cache.epoch_misses / accesses
+            last_util = (
+                cache.epoch_rank_hits[ways - 1] / accesses if ways >= 1 else 0.0
+            )
+            # deep utility: hits in the LRU-most half of the ways.  High
+            # miss rate alone is not a reason to grow — pure streaming
+            # misses at any size; growth needs evidence that deeper ways
+            # would catch reuse.
+            deep_util = sum(cache.epoch_rank_hits[ways // 2:ways]) / accesses
+            if mr > cfg.grow_miss_rate and deep_util > cfg.grow_deep_util:
+                target = min(seg.max_ways, ways + cfg.grow_step)
+            elif mr < cfg.shrink_miss_rate and last_util < cfg.shrink_last_way_util:
+                target = max(cfg.min_ways, ways - 1)
+            seg.busy_ways = target
+        if target != ways:
+            seg.integrate_to(tick)
+            cache.set_powered_ways(target, tick)
+            seg.resizes += 1
+        cache.begin_epoch()
+
+    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
+        """Replay ``stream`` with epoch-based repartitioning."""
+        cfg = self.config
+        user = self._make_segment(
+            platform, "user", cfg.start_user_ways, cfg.max_user_ways, self.user_tech
+        )
+        kernel = self._make_segment(
+            platform, "kernel", cfg.start_kernel_ways, cfg.max_kernel_ways, self.kernel_tech
+        )
+        segments = [user, kernel]
+        kernel_priv = int(Privilege.KERNEL)
+
+        timeline_ticks: list[int] = [0]
+        timeline_user: list[int] = [user.cache.powered_ways]
+        timeline_kernel: list[int] = [kernel.cache.powered_ways]
+
+        next_epoch = cfg.epoch_ticks
+        ticks = stream.ticks.tolist()
+        addrs = stream.addrs.tolist()
+        privs = stream.privs.tolist()
+        writes = stream.writes.tolist()
+        demand = stream.demand.tolist()
+        for tick, addr, priv, is_write, is_demand in zip(ticks, addrs, privs, writes, demand):
+            while tick >= next_epoch:
+                for seg in segments:
+                    self._controller_step(seg, next_epoch)
+                timeline_ticks.append(next_epoch)
+                timeline_user.append(user.cache.powered_ways)
+                timeline_kernel.append(kernel.cache.powered_ways)
+                next_epoch += cfg.epoch_ticks
+            seg = kernel if priv == kernel_priv else user
+            seg.wake(tick)
+            seg.cache.access(addr, is_write, priv, tick, is_demand)
+
+        final_tick = stream.duration_ticks
+        for seg in segments:
+            seg.integrate_to(final_tick)
+            seg.cache.finalize(final_tick)
+
+        total_demand = sum(s.cache.stats.demand_accesses for s in segments)
+        extra_read = (
+            sum(s.cache.stats.demand_accesses * s.tech.extra_read_cycles for s in segments)
+            / total_demand
+            if total_demand
+            else 0.0
+        )
+        l2_writes = sum(s.cache.stats.total_writes for s in segments)
+        extra_write = (
+            sum(s.cache.stats.total_writes * s.tech.extra_write_cycles for s in segments)
+            / l2_writes
+            if l2_writes
+            else 0.0
+        )
+        demand_misses = sum(s.cache.stats.demand_misses for s in segments)
+        timing = compute_timing(
+            platform,
+            instructions=stream.instructions,
+            duration_ticks=stream.duration_ticks,
+            l1_demand_misses=stream.l1_demand_misses,
+            l2_demand_misses=demand_misses,
+            l2_extra_read_cycles=extra_read,
+            l2_extra_write_cycles=extra_write,
+            l2_writes=l2_writes,
+        )
+
+        # Leakage integrates over wall-clock time; ticks cover the trace
+        # span, so scale the byte-tick integral by the stall/CPI dilation.
+        dilation = timing.total_cycles / max(1, stream.duration_ticks)
+        reports = []
+        for seg in segments:
+            max_size = seg.max_ways * seg.bytes_per_way
+            byte_seconds = seg.byte_ticks * dilation / platform.clock_hz
+            # Per-access energy scales with the powered array a lookup
+            # actually touches; use the time-weighted mean powered size
+            # (never below one way).
+            mean_powered = max(
+                seg.bytes_per_way, seg.byte_ticks // max(1, stream.duration_ticks)
+            )
+            reports.append(
+                SegmentReport(
+                    name=seg.name,
+                    tech_name=seg.tech.name,
+                    size_bytes=max_size,
+                    byte_seconds=byte_seconds,
+                    stats=seg.cache.stats,
+                    energy=segment_energy(seg.cache.stats, seg.tech, mean_powered, byte_seconds),
+                )
+            )
+        dram_writes = sum(
+            s.cache.stats.writebacks + s.cache.stats.expiry_writebacks for s in segments
+        )
+        return DesignResult(
+            design=self.name,
+            app=stream.name,
+            segments=tuple(reports),
+            timing=timing,
+            dram_j=dram_energy_j(demand_misses, dram_writes),
+            extras={
+                "timeline_ticks": timeline_ticks,
+                "timeline_user_ways": timeline_user,
+                "timeline_kernel_ways": timeline_kernel,
+                "user_resizes": user.resizes,
+                "kernel_resizes": kernel.resizes,
+            },
+        )

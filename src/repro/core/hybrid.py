@@ -1,0 +1,200 @@
+"""Hybrid SRAM/STT-RAM partitioned L2 (extension: the literature's rival).
+
+Before multi-retention STT-RAM, the standard answer to STT's expensive
+writes was a *hybrid* cache (Sun et al., HPCA 2009 lineage): a few SRAM
+ways absorb the write-intensive traffic while STT-RAM ways carry the
+read-mostly capacity.  This design combines that idea with the paper's
+user/kernel partition: each privilege segment is a hybrid pair, with
+
+* **write-back traffic** (dirty data evicted from the L1D — the L2's
+  write-intensive stream) allocated into the segment's SRAM part, and
+* **demand fills** (read-mostly) allocated into the STT part.
+
+An access is routed to whichever part currently holds the block, so no
+block is ever duplicated.  Comparing this against the multi-retention
+design shows which lever pays more on these workloads: segregating
+writes into SRAM, or cheapening every STT write via relaxed retention.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import L2Stream
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import PlatformConfig
+from repro.core.result import DesignResult, SegmentReport
+from repro.energy.model import dram_energy_j, segment_energy
+from repro.energy.technology import MemoryTechnology, sram, stt_ram
+from repro.timing.cpu import compute_timing
+from repro.types import Privilege
+
+__all__ = ["HybridPartitionDesign"]
+
+
+class _HybridSegment:
+    """One privilege side: an SRAM write part plus an STT capacity part."""
+
+    def __init__(
+        self,
+        label: str,
+        platform: PlatformConfig,
+        sram_ways: int,
+        stt_ways: int,
+        sram_tech: MemoryTechnology,
+        stt_tech: MemoryTechnology,
+        policy: str,
+    ) -> None:
+        retention = stt_tech.retention_ticks(platform.clock_hz)
+        self.label = label
+        self.sram_tech = sram_tech
+        self.stt_tech = stt_tech
+        self.sram = SetAssociativeCache(
+            platform.l2.with_ways(sram_ways), policy, name=f"l2-{label}-sram"
+        )
+        self.stt = SetAssociativeCache(
+            platform.l2.with_ways(stt_ways),
+            policy,
+            retention_ticks=retention,
+            refresh_mode="none" if retention is None else "invalidate",
+            name=f"l2-{label}-stt",
+        )
+        self.migrate_threshold = 2
+        self._write_counts: dict[int, int] = {}
+        self.migrations = 0
+
+    def access(self, addr: int, is_write: bool, priv: int, tick: int, demand: bool):
+        """Route to the part holding the block, else to the fill target.
+
+        A write that finds its block in the STT part *migrates* it to
+        the SRAM part (write-hit migration — the defining move of hybrid
+        caches): the STT copy is read out and invalidated, and the write
+        lands in SRAM.  The read and the SRAM fill are charged to their
+        respective parts.
+        """
+        if self.sram.contains(addr):
+            return self.sram.access(addr, is_write, priv, tick, demand)
+        if self.stt.contains(addr):
+            if not is_write:
+                return self.stt.access(addr, is_write, priv, tick, demand)
+            # count writes per block; only write-*intensive* blocks earn
+            # migration — migrating on the first write thrashes the small
+            # SRAM part with blocks written once and read forever after
+            block = addr & ~63
+            count = self._write_counts.get(block, 0) + 1
+            if count < self.migrate_threshold:
+                self._write_counts[block] = count
+                if len(self._write_counts) > 8192:
+                    self._write_counts.pop(next(iter(self._write_counts)))
+                return self.stt.access(addr, is_write, priv, tick, demand)
+            self._write_counts.pop(block, None)
+            read = self.stt.access(addr, False, priv, tick, demand=False)
+            if read.hit:  # may have expired between contains() and here
+                self.stt.invalidate(addr, tick)
+            self.migrations += 1
+            return self.sram.access(addr, True, priv, tick, demand)
+        # absent everywhere: write-backs allocate in SRAM, fills in STT
+        target = self.sram if is_write else self.stt
+        return target.access(addr, is_write, priv, tick, demand)
+
+    def parts(self):
+        """(name, cache, tech) triples for reporting."""
+        return (
+            (f"{self.label}-sram", self.sram, self.sram_tech),
+            (f"{self.label}-stt", self.stt, self.stt_tech),
+        )
+
+
+class HybridPartitionDesign:
+    """User/kernel partition whose segments are SRAM+STT hybrids.
+
+    Args:
+        user_sram_ways/user_stt_ways: The user segment's split (default
+            1 SRAM + 7 STT ways = the canonical 512 KB).
+        kernel_sram_ways/kernel_stt_ways: The kernel segment's split
+            (default 1 + 3 = 256 KB).
+        stt_retention: Retention class of both STT parts.
+    """
+
+    def __init__(
+        self,
+        user_sram_ways: int = 1,
+        user_stt_ways: int = 7,
+        kernel_sram_ways: int = 1,
+        kernel_stt_ways: int = 3,
+        stt_retention: str = "medium",
+        policy: str = "lru",
+        name: str = "hybrid",
+    ) -> None:
+        for ways in (user_sram_ways, user_stt_ways, kernel_sram_ways, kernel_stt_ways):
+            if ways <= 0:
+                raise ValueError("every hybrid part needs at least one way")
+        self.user_split = (user_sram_ways, user_stt_ways)
+        self.kernel_split = (kernel_sram_ways, kernel_stt_ways)
+        self.stt_retention = stt_retention
+        self.policy = policy
+        self.name = name
+
+    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
+        """Replay ``stream`` through the two hybrid segments."""
+        sram_tech = sram()
+        stt_tech = stt_ram(self.stt_retention)
+        user = _HybridSegment("user", platform, *self.user_split,
+                              sram_tech, stt_tech, self.policy)
+        kernel = _HybridSegment("kernel", platform, *self.kernel_split,
+                                sram_tech, stt_tech, self.policy)
+        kernel_priv = int(Privilege.KERNEL)
+
+        for tick, addr, priv, is_write, is_demand in zip(
+            stream.ticks.tolist(), stream.addrs.tolist(), stream.privs.tolist(),
+            stream.writes.tolist(), stream.demand.tolist(),
+        ):
+            seg = kernel if priv == kernel_priv else user
+            seg.access(addr, is_write, priv, tick, is_demand)
+
+        parts = list(user.parts()) + list(kernel.parts())
+        for _, cache, _ in parts:
+            cache.finalize(stream.duration_ticks)
+
+        total_demand = sum(c.stats.demand_accesses for _, c, _ in parts)
+        extra_read = (
+            sum(c.stats.demand_accesses * t.extra_read_cycles for _, c, t in parts)
+            / total_demand if total_demand else 0.0
+        )
+        l2_writes = sum(c.stats.total_writes for _, c, _ in parts)
+        extra_write = (
+            sum(c.stats.total_writes * t.extra_write_cycles for _, c, t in parts)
+            / l2_writes if l2_writes else 0.0
+        )
+        demand_misses = sum(c.stats.demand_misses for _, c, _ in parts)
+        timing = compute_timing(
+            platform,
+            instructions=stream.instructions,
+            duration_ticks=stream.duration_ticks,
+            l1_demand_misses=stream.l1_demand_misses,
+            l2_demand_misses=demand_misses,
+            l2_extra_read_cycles=extra_read,
+            l2_extra_write_cycles=extra_write,
+            l2_writes=l2_writes,
+        )
+
+        seconds = timing.seconds(platform)
+        reports = []
+        for part_name, cache, tech in parts:
+            size = cache.size_bytes
+            reports.append(SegmentReport(
+                name=part_name,
+                tech_name=tech.name,
+                size_bytes=size,
+                byte_seconds=size * seconds,
+                stats=cache.stats,
+                energy=segment_energy(cache.stats, tech, size, size * seconds),
+            ))
+        dram_writes = sum(
+            c.stats.writebacks + c.stats.expiry_writebacks for _, c, _ in parts
+        )
+        return DesignResult(
+            design=self.name,
+            app=stream.name,
+            segments=tuple(reports),
+            timing=timing,
+            dram_j=dram_energy_j(demand_misses, dram_writes),
+        )

@@ -1,0 +1,78 @@
+"""Result containers shared by every L2 design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import CacheStats
+from repro.energy.model import EnergyBreakdown
+from repro.timing.cpu import TimingResult
+
+__all__ = ["SegmentReport", "DesignResult"]
+
+
+@dataclass(frozen=True)
+class SegmentReport:
+    """Post-simulation report of one cache segment.
+
+    ``size_bytes`` is the provisioned capacity (the array that exists in
+    silicon); ``byte_seconds`` integrates the *powered* capacity over
+    time, which is smaller when the dynamic controller gates ways off.
+    """
+
+    name: str
+    tech_name: str
+    size_bytes: int
+    byte_seconds: float
+    stats: CacheStats
+    energy: EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """Everything one design produced on one workload."""
+
+    design: str
+    app: str
+    segments: tuple[SegmentReport, ...]
+    timing: TimingResult
+    dram_j: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def l2_stats(self) -> CacheStats:
+        """Whole-L2 statistics (all segments merged)."""
+        merged = CacheStats()
+        for seg in self.segments:
+            merged = merged.merge(seg.stats)
+        return merged
+
+    @property
+    def l2_energy(self) -> EnergyBreakdown:
+        """Whole-L2 energy (all segments summed)."""
+        total = EnergyBreakdown.zero()
+        for seg in self.segments:
+            total = total + seg.energy
+        return total
+
+    @property
+    def active_bytes(self) -> int:
+        """Total provisioned L2 capacity of the design."""
+        return sum(seg.size_bytes for seg in self.segments)
+
+    def segment(self, name: str) -> SegmentReport:
+        """Look up a segment report by name."""
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"design {self.design!r} has no segment {name!r}")
+
+    def summary_row(self) -> str:
+        """One-line human-readable summary."""
+        stats = self.l2_stats
+        return (
+            f"{self.design:>14s} {self.app:>8s}: "
+            f"mr={stats.demand_miss_rate:6.2%} "
+            f"E={self.l2_energy.total_j * 1e6:8.1f} uJ "
+            f"busy={self.timing.busy_cycles / 1e6:7.2f} Mcyc"
+        )

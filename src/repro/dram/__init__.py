@@ -1,0 +1,5 @@
+"""DRAM substrate: bank/row-buffer model refining the flat-latency default."""
+
+from repro.dram.model import DRAMConfig, DRAMModel, DRAMStats
+
+__all__ = ["DRAMConfig", "DRAMModel", "DRAMStats"]

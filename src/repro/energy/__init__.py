@@ -1,0 +1,36 @@
+"""Technology and energy substrate (SRAM / multi-retention STT-RAM).
+
+Public surface:
+
+* :func:`sram` / :func:`stt_ram` — technology parameter sets.
+* :class:`MemoryTechnology`, :class:`RetentionClass`,
+  :data:`RETENTION_CLASSES` — the parameter model.
+* :class:`EnergyBreakdown`, :func:`segment_energy`,
+  :func:`dram_energy_j` — accounting.
+"""
+
+from repro.energy.model import EnergyBreakdown, dram_energy_j, segment_energy
+from repro.energy.technology import (
+    DRAM_ACCESS_ENERGY_NJ,
+    DYNAMIC_ENERGY_SIZE_EXPONENT,
+    REFERENCE_SIZE_BYTES,
+    RETENTION_CLASSES,
+    MemoryTechnology,
+    RetentionClass,
+    sram,
+    stt_ram,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "dram_energy_j",
+    "segment_energy",
+    "DRAM_ACCESS_ENERGY_NJ",
+    "DYNAMIC_ENERGY_SIZE_EXPONENT",
+    "REFERENCE_SIZE_BYTES",
+    "RETENTION_CLASSES",
+    "MemoryTechnology",
+    "RetentionClass",
+    "sram",
+    "stt_ram",
+]

@@ -1,0 +1,139 @@
+"""First-order cache-array area/energy decomposition (CACTI-style).
+
+The headline experiments use calibrated per-access constants
+(:mod:`repro.energy.technology`).  This module complements them with a
+*structural* model that decomposes an array into decoder, wordlines,
+bitlines, sense amplifiers and output drivers, in the spirit of CACTI —
+good for asking geometry questions the constants cannot answer: how do
+energy and area move with associativity, block size, or cell type?
+
+It is deliberately first-order (no H-tree floorplanning, no multi-bank
+partitioning) and is validated for *trends*, not absolute joules; the
+area table bench (``benchmarks/bench_table_area.py``) is its consumer.
+
+Cell parameters (45 nm class):
+
+* SRAM: 6T cell, ~0.35 um^2/bit, per-cell leakage dominates.
+* STT-RAM: 1T1MTJ, ~0.09 um^2/bit (the ~4x density advantage the
+  literature reports), negligible cell leakage, expensive writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheGeometry
+
+__all__ = ["CellParams", "ArrayEstimate", "SRAM_CELL", "STT_CELL", "estimate_array"]
+
+
+@dataclass(frozen=True)
+class CellParams:
+    """Bit-cell and peripheral parameters of one memory technology."""
+
+    name: str
+    cell_area_um2: float
+    cell_read_fj: float          # per bit read (bitline swing / MTJ sense)
+    cell_write_fj: float         # per bit write
+    cell_leak_nw: float          # per bit standby leakage
+    periph_leak_scale: float     # peripheral leakage vs an SRAM array of equal bits
+
+    def __post_init__(self) -> None:
+        if min(self.cell_area_um2, self.cell_read_fj, self.cell_write_fj) <= 0:
+            raise ValueError(f"cell parameters must be positive: {self}")
+        if self.cell_leak_nw < 0 or self.periph_leak_scale < 0:
+            raise ValueError(f"leakage parameters must be >= 0: {self}")
+
+
+SRAM_CELL = CellParams(
+    name="sram-6t",
+    cell_area_um2=0.35,
+    cell_read_fj=18.0,
+    cell_write_fj=18.0,
+    cell_leak_nw=0.9,
+    periph_leak_scale=1.0,
+)
+
+STT_CELL = CellParams(
+    name="stt-1t1mtj",
+    cell_area_um2=0.09,
+    cell_read_fj=14.0,
+    cell_write_fj=160.0,
+    cell_leak_nw=0.0,
+    periph_leak_scale=1.0,
+)
+
+# Peripheral constants (per access / per structure)
+_DECODER_FJ_PER_SET_BIT = 45.0     # energy per decoded address bit
+_SENSE_FJ_PER_BIT = 9.0            # sense amplifier per output bit
+_DRIVER_FJ_PER_BIT = 7.0           # output driver per bit
+_TAG_BITS = 24
+_PERIPH_LEAK_NW_PER_COLUMN = 18.0  # sense/precharge leakage per column
+_PERIPH_AREA_OVERHEAD = 0.32       # decoder/sense/driver area vs cell array
+_WIRE_FJ_PER_BIT_MM = 400.0        # routing (wire + repeaters) per bit per mm
+
+
+@dataclass(frozen=True)
+class ArrayEstimate:
+    """Structural estimate for one cache array."""
+
+    name: str
+    read_energy_nj: float
+    write_energy_nj: float
+    leakage_mw: float
+    area_mm2: float
+
+    def row(self) -> list[str]:
+        """Formatted cells for table rendering."""
+        return [
+            self.name,
+            f"{self.read_energy_nj:.2f}",
+            f"{self.write_energy_nj:.2f}",
+            f"{self.leakage_mw:.1f}",
+            f"{self.area_mm2:.2f}",
+        ]
+
+
+def estimate_array(geometry: CacheGeometry, cell: CellParams) -> ArrayEstimate:
+    """Estimate energy/leakage/area of ``geometry`` built from ``cell``.
+
+    A read activates one set: all ways' tags plus one way's data line
+    (sequential tag-data access, the low-power organisation mobile L2s
+    use).  A write drives one data line plus the tag.
+    """
+    geometry.validate()
+    block_bits = geometry.block_size * 8
+    set_bits = max(1, geometry.num_sets.bit_length() - 1)
+    ways = geometry.associativity
+
+    total_bits = geometry.num_blocks * (block_bits + _TAG_BITS)
+    area_cells_mm2 = total_bits * cell.cell_area_um2 * (1 + _PERIPH_AREA_OVERHEAD) * 1e-6
+    # data travels roughly half the array diagonal to reach the port;
+    # this wire term is what makes access energy grow ~sqrt(capacity)
+    route_mm = 0.5 * area_cells_mm2 ** 0.5
+    wire_fj_per_bit = _WIRE_FJ_PER_BIT_MM * route_mm
+
+    decoder_fj = _DECODER_FJ_PER_SET_BIT * set_bits
+    tag_read_fj = ways * _TAG_BITS * (cell.cell_read_fj + _SENSE_FJ_PER_BIT)
+    data_read_fj = block_bits * (
+        cell.cell_read_fj + _SENSE_FJ_PER_BIT + _DRIVER_FJ_PER_BIT + wire_fj_per_bit
+    )
+    read_nj = (decoder_fj + tag_read_fj + data_read_fj) * 1e-6
+
+    tag_write_fj = _TAG_BITS * cell.cell_write_fj
+    data_write_fj = block_bits * (cell.cell_write_fj + _DRIVER_FJ_PER_BIT + wire_fj_per_bit)
+    write_nj = (decoder_fj + tag_write_fj + data_write_fj) * 1e-6
+    columns = (block_bits + _TAG_BITS) * ways
+    leak_mw = (
+        total_bits * cell.cell_leak_nw
+        + columns * _PERIPH_LEAK_NW_PER_COLUMN * cell.periph_leak_scale * geometry.num_sets ** 0.5
+    ) * 1e-6
+
+    area_mm2 = area_cells_mm2
+    return ArrayEstimate(
+        name=f"{cell.name} {geometry.size_bytes // 1024} KB {ways}-way",
+        read_energy_nj=read_nj,
+        write_energy_nj=write_nj,
+        leakage_mw=leak_mw,
+        area_mm2=area_mm2,
+    )

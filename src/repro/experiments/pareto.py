@@ -1,0 +1,115 @@
+"""Energy/performance Pareto frontier across all implemented designs.
+
+The paper's two techniques are points in a larger space this library can
+populate: SRAM variants (full, shrunk, drowsy), STT variants (retention
+assignments, refresh policies) and the dynamic controller.  This
+experiment runs them all and reports which are Pareto-optimal in
+(normalized energy, performance loss) — the synthesis artifact a design
+review would ask for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import BaselineDesign
+from repro.core.drowsy import DrowsySRAMDesign
+from repro.core.dynamic_partition import DynamicPartitionDesign
+from repro.core.hybrid import HybridPartitionDesign
+from repro.core.multi_retention import multi_retention_design
+from repro.core.static_partition import StaticPartitionDesign
+from repro.experiments.report import format_table
+from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH, experiment_stream
+from repro.config import DEFAULT_PLATFORM
+
+__all__ = ["ParetoPoint", "ParetoResult", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design's position in (energy, performance) space."""
+
+    design: str
+    energy_norm: float
+    perf_loss: float
+    on_frontier: bool = False
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """All evaluated designs with frontier membership."""
+
+    points: tuple[ParetoPoint, ...]
+
+    def frontier(self) -> tuple[ParetoPoint, ...]:
+        """Only the Pareto-optimal points, by increasing energy."""
+        return tuple(sorted((p for p in self.points if p.on_frontier),
+                            key=lambda p: p.energy_norm))
+
+    def render(self) -> str:
+        rows = [
+            [p.design, f"{p.energy_norm:.3f}", f"{p.perf_loss:+.2%}",
+             "*" if p.on_frontier else ""]
+            for p in sorted(self.points, key=lambda p: p.energy_norm)
+        ]
+        return format_table(
+            "Energy/performance Pareto space (suite subset mean; * = frontier)",
+            ["design", "norm. energy", "perf loss", "Pareto"],
+            rows,
+        )
+
+
+def _mark_frontier(points: list[ParetoPoint]) -> tuple[ParetoPoint, ...]:
+    """A point is dominated if another has <= energy AND <= loss (one strict)."""
+    marked = []
+    for p in points:
+        dominated = any(
+            (q.energy_norm <= p.energy_norm and q.perf_loss <= p.perf_loss)
+            and (q.energy_norm < p.energy_norm or q.perf_loss < p.perf_loss)
+            for q in points
+        )
+        marked.append(ParetoPoint(p.design, p.energy_norm, p.perf_loss, not dominated))
+    return tuple(marked)
+
+
+def candidate_designs() -> dict[str, object]:
+    """The design variants the frontier is drawn over."""
+    return {
+        "baseline": BaselineDesign(),
+        "static-sram": StaticPartitionDesign(name="static-sram"),
+        "drowsy-sram": DrowsySRAMDesign(),
+        "static-stt": multi_retention_design(),
+        "static-stt-rewrite": multi_retention_design(
+            refresh_mode="rewrite", name="static-stt-rewrite"),
+        "static-stt-allshort": multi_retention_design(
+            user_retention="short", name="static-stt-allshort"),
+        "static-stt-alllong": multi_retention_design(
+            user_retention="long", kernel_retention="long", name="static-stt-alllong"),
+        "hybrid": HybridPartitionDesign(),
+        "dynamic-stt": DynamicPartitionDesign(),
+    }
+
+
+def pareto_frontier(
+    length: int = EXPERIMENT_TRACE_LENGTH,
+    apps: tuple[str, ...] = ("browser", "social", "game"),
+) -> ParetoResult:
+    """Evaluate every candidate design and mark the frontier."""
+    base_energy, base_timing = {}, {}
+    for app in apps:
+        stream = experiment_stream(app, length)
+        r = BaselineDesign().run(stream, DEFAULT_PLATFORM)
+        base_energy[app] = r.l2_energy.total_j
+        base_timing[app] = r.timing
+    points = []
+    for name, design in candidate_designs().items():
+        energy, loss = [], []
+        for app in apps:
+            stream = experiment_stream(app, length)
+            r = design.run(stream, DEFAULT_PLATFORM)
+            energy.append(r.l2_energy.total_j / base_energy[app])
+            loss.append(r.timing.perf_loss_vs(base_timing[app]))
+        points.append(ParetoPoint(name, float(np.mean(energy)), float(np.mean(loss))))
+    return ParetoResult(_mark_frontier(points))

@@ -1,0 +1,99 @@
+"""Sensitivity analysis: do the conclusions survive parameter changes?
+
+The headline numbers depend on modelling constants (DRAM latency, L2
+latency, write-contention factor) that the paper's testbed pins and we
+calibrate.  These sweeps vary each one and re-measure the headline, so a
+reader can see which conclusions are robust and which are knife-edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.config import DEFAULT_PLATFORM, LatencyConfig
+from repro.core.baseline import BaselineDesign
+from repro.core.multi_retention import multi_retention_design
+from repro.experiments.report import format_table
+from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH, experiment_stream
+
+__all__ = ["SensitivityResult", "dram_latency_sensitivity", "l2_latency_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Headline metrics at one parameter value."""
+
+    parameter_value: float
+    static_stt_energy_norm: float
+    static_stt_perf_loss: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """A one-parameter sweep of the static-technique headline."""
+
+    parameter: str
+    rows: tuple[SensitivityRow, ...]
+
+    def render(self) -> str:
+        return format_table(
+            f"Sensitivity: static-stt headline vs {self.parameter}",
+            [self.parameter, "norm. energy", "perf loss"],
+            [
+                [f"{r.parameter_value:g}", f"{r.static_stt_energy_norm:.3f}",
+                 f"{r.static_stt_perf_loss:+.2%}"]
+                for r in self.rows
+            ],
+        )
+
+    def energy_spread(self) -> float:
+        """Max-min normalized energy across the sweep."""
+        values = [r.static_stt_energy_norm for r in self.rows]
+        return max(values) - min(values)
+
+
+def _headline_at(platform, apps, length) -> tuple[float, float]:
+    energy, loss = [], []
+    for app in apps:
+        stream = experiment_stream(app, length)
+        base = BaselineDesign().run(stream, platform)
+        stt = multi_retention_design().run(stream, platform)
+        energy.append(stt.l2_energy.total_j / base.l2_energy.total_j)
+        loss.append(stt.timing.perf_loss_vs(base.timing))
+    return float(np.mean(energy)), float(np.mean(loss))
+
+
+def dram_latency_sensitivity(
+    length: int = EXPERIMENT_TRACE_LENGTH,
+    apps: tuple[str, ...] = ("browser", "game"),
+    latencies: tuple[int, ...] = (80, 140, 220, 300),
+) -> SensitivityResult:
+    """Sweep the flat DRAM latency."""
+    rows = []
+    for dram in latencies:
+        platform = replace(
+            DEFAULT_PLATFORM,
+            latency=replace(DEFAULT_PLATFORM.latency, dram=dram),
+        )
+        energy, loss = _headline_at(platform, apps, length)
+        rows.append(SensitivityRow(dram, energy, loss))
+    return SensitivityResult("DRAM latency (cycles)", tuple(rows))
+
+
+def l2_latency_sensitivity(
+    length: int = EXPERIMENT_TRACE_LENGTH,
+    apps: tuple[str, ...] = ("browser", "game"),
+    latencies: tuple[int, ...] = (12, 20, 30),
+) -> SensitivityResult:
+    """Sweep the L2 hit latency."""
+    rows = []
+    for l2_hit in latencies:
+        platform = replace(
+            DEFAULT_PLATFORM,
+            latency=replace(DEFAULT_PLATFORM.latency, l2_hit=l2_hit),
+        )
+        energy, loss = _headline_at(platform, apps, length)
+        rows.append(SensitivityRow(l2_hit, energy, loss))
+    return SensitivityResult("L2 hit latency (cycles)", tuple(rows))

@@ -1,0 +1,5 @@
+"""Multi-core shared-L2 extension: per-core L1s, shared kernel space."""
+
+from repro.multicore.merge import kernel_block_sharing, merge_streams, multicore_stream
+
+__all__ = ["kernel_block_sharing", "merge_streams", "multicore_stream"]

@@ -1,0 +1,5 @@
+"""Timing substrate: the in-order CPI + memory-stall execution model."""
+
+from repro.timing.cpu import WRITE_CONTENTION_FACTOR, TimingResult, compute_timing
+
+__all__ = ["WRITE_CONTENTION_FACTOR", "TimingResult", "compute_timing"]

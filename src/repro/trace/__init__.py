@@ -1,0 +1,61 @@
+"""Workload substrate: tagged memory-access traces of mobile apps.
+
+Public surface:
+
+* :class:`Trace` — the access-stream container.
+* :class:`Region`, :class:`PhaseSpec`, :class:`AppProfile` — the phase
+  model used to describe interactive apps.
+* :func:`generate_trace` — deterministic synthetic generation.
+* :data:`APP_NAMES`, :func:`app_profile`, :func:`default_suite`,
+  :func:`suite_trace` — the eight-app smartphone suite.
+* :mod:`repro.trace.stats` — stream statistics (kernel share, reuse,
+  inter-access intervals).
+* :func:`save_trace` / :func:`load_trace` — ``.npz`` persistence.
+"""
+
+from repro.trace.access import Trace
+from repro.trace.generator import generate_trace
+from repro.trace.importers import load_csv_trace, load_din_trace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.microbench import MICROBENCH_NAMES, microbench_profile
+from repro.trace.phases import AppProfile, PhaseSpec, Region
+from repro.trace.transform import (
+    concat,
+    remap_user_space,
+    shift_ticks,
+    slice_window,
+    timeslice,
+)
+from repro.trace.workloads import (
+    APP_NAMES,
+    DEFAULT_TRACE_LENGTH,
+    EXTRA_APP_NAMES,
+    app_profile,
+    default_suite,
+    suite_trace,
+)
+
+__all__ = [
+    "Trace",
+    "generate_trace",
+    "load_csv_trace",
+    "load_din_trace",
+    "load_trace",
+    "save_trace",
+    "MICROBENCH_NAMES",
+    "microbench_profile",
+    "concat",
+    "remap_user_space",
+    "shift_ticks",
+    "slice_window",
+    "timeslice",
+    "EXTRA_APP_NAMES",
+    "AppProfile",
+    "PhaseSpec",
+    "Region",
+    "APP_NAMES",
+    "DEFAULT_TRACE_LENGTH",
+    "app_profile",
+    "default_suite",
+    "suite_trace",
+]

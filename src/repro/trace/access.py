@@ -1,0 +1,117 @@
+"""The :class:`Trace` container — a tagged memory-access stream.
+
+A trace is the unit of workload in this library.  It wraps a numpy
+structured array (:data:`repro.types.TRACE_DTYPE`) plus the workload name
+and the number of instructions the stream represents, and offers cheap
+views (slices, privilege filters) used throughout the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import TRACE_DTYPE, AccessKind, Privilege
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable memory-access trace.
+
+    Attributes:
+        name: Workload identifier (for example ``"browser"``).
+        records: Structured array with fields ``tick``, ``addr``,
+            ``kind`` and ``priv`` (see :data:`repro.types.TRACE_DTYPE`).
+            Ticks are non-decreasing.
+        instructions: Number of dynamic instructions the trace stands
+            for.  The timing model charges ``base_cpi`` cycles per
+            instruction on top of memory stalls.
+    """
+
+    name: str
+    records: np.ndarray
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.records.dtype != TRACE_DTYPE:
+            raise TypeError(f"records must have TRACE_DTYPE, got {self.records.dtype}")
+        if self.instructions < len(self.records):
+            raise ValueError(
+                f"instructions ({self.instructions}) cannot be fewer than "
+                f"accesses ({len(self.records)})"
+            )
+        if len(self.records) and np.any(np.diff(self.records["tick"].astype(np.int64)) < 0):
+            raise ValueError("trace ticks must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def ticks(self) -> np.ndarray:
+        """Tick (cycle) column."""
+        return self.records["tick"]
+
+    @property
+    def addrs(self) -> np.ndarray:
+        """Address column."""
+        return self.records["addr"]
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Access-kind column (values of :class:`AccessKind`)."""
+        return self.records["kind"]
+
+    @property
+    def privs(self) -> np.ndarray:
+        """Privilege column (values of :class:`Privilege`)."""
+        return self.records["priv"]
+
+    @property
+    def duration_ticks(self) -> int:
+        """Tick span covered by the trace (0 for an empty trace)."""
+        if not len(self.records):
+            return 0
+        return int(self.records["tick"][-1]) + 1
+
+    def privilege_mask(self, privilege: Privilege) -> np.ndarray:
+        """Boolean mask selecting accesses at ``privilege``."""
+        return self.records["priv"] == np.uint8(privilege)
+
+    def kind_mask(self, kind: AccessKind) -> np.ndarray:
+        """Boolean mask selecting accesses of ``kind``."""
+        return self.records["kind"] == np.uint8(kind)
+
+    def select(self, mask: np.ndarray) -> "Trace":
+        """New trace keeping only ``mask``-selected records."""
+        return Trace(self.name, self.records[mask], self.instructions)
+
+    def head(self, n: int) -> "Trace":
+        """Prefix of at most ``n`` accesses (instruction count scaled)."""
+        if n >= len(self.records):
+            return self
+        sub = self.records[:n]
+        frac = n / len(self.records)
+        return Trace(self.name, sub, max(n, int(self.instructions * frac)))
+
+    def kernel_fraction(self) -> float:
+        """Fraction of accesses issued at kernel privilege."""
+        if not len(self.records):
+            return 0.0
+        return float(np.mean(self.privilege_mask(Privilege.KERNEL)))
+
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are stores."""
+        if not len(self.records):
+            return 0.0
+        return float(np.mean(self.kind_mask(AccessKind.STORE)))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"Trace({self.name!r}: {len(self):,} accesses, "
+            f"{self.instructions:,} instructions, "
+            f"kernel {self.kernel_fraction():.1%}, stores {self.write_fraction():.1%})"
+        )

@@ -1,0 +1,127 @@
+"""Trace-level statistics used by the motivation experiments.
+
+These functions characterise an access stream *before* it meets a cache:
+privilege mix, footprints, block reuse distances and inter-access
+intervals.  Figure 5 of the reproduction uses the interval statistics of
+the L2-filtered streams to justify the retention classes chosen for the
+multi-retention STT-RAM design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.access import Trace
+from repro.types import CACHE_BLOCK_SIZE, Privilege
+
+__all__ = [
+    "kernel_access_share",
+    "unique_blocks",
+    "footprint_bytes",
+    "reuse_distances",
+    "inter_access_intervals",
+    "IntervalSummary",
+    "summarize_intervals",
+]
+
+
+def kernel_access_share(trace: Trace) -> float:
+    """Fraction of accesses issued at kernel privilege."""
+    return trace.kernel_fraction()
+
+
+def unique_blocks(trace: Trace, privilege: Privilege | None = None) -> int:
+    """Number of distinct cache blocks touched (optionally one privilege)."""
+    recs = trace.records
+    if privilege is not None:
+        recs = recs[recs["priv"] == np.uint8(privilege)]
+    if not len(recs):
+        return 0
+    blocks = recs["addr"] // np.uint64(CACHE_BLOCK_SIZE)
+    return int(np.unique(blocks).size)
+
+
+def footprint_bytes(trace: Trace, privilege: Privilege | None = None) -> int:
+    """Total bytes of distinct blocks touched (the working footprint)."""
+    return unique_blocks(trace, privilege) * CACHE_BLOCK_SIZE
+
+
+def reuse_distances(trace: Trace, max_samples: int = 50_000) -> np.ndarray:
+    """LRU stack reuse distances of block references.
+
+    Returns one distance per *reused* reference (first touches are
+    excluded).  Distance is the number of distinct other blocks touched
+    since the previous reference to the same block — the classic stack
+    distance that determines hit/miss in a fully associative LRU cache.
+    Computed over at most ``max_samples`` leading references to bound the
+    O(n·d) cost of the stack simulation.
+    """
+    blocks = (trace.addrs // np.uint64(CACHE_BLOCK_SIZE))[:max_samples]
+    stack: list[int] = []
+    position: dict[int, int] = {}
+    out: list[int] = []
+    for blk in blocks.tolist():
+        if blk in position:
+            # distance = how many distinct blocks sit above it on the stack
+            idx = stack.index(blk)
+            out.append(len(stack) - 1 - idx)
+            stack.pop(idx)
+        stack.append(blk)
+        position[blk] = 1
+    return np.asarray(out, dtype=np.int64)
+
+
+def inter_access_intervals(
+    trace: Trace, privilege: Privilege | None = None
+) -> np.ndarray:
+    """Tick gaps between consecutive references to the same block.
+
+    This is the quantity that decides whether a retention time is long
+    enough: a block whose next reference arrives after its segment's
+    retention window has expired and must be refetched.
+    """
+    recs = trace.records
+    if privilege is not None:
+        recs = recs[recs["priv"] == np.uint8(privilege)]
+    if len(recs) < 2:
+        return np.empty(0, dtype=np.int64)
+    blocks = recs["addr"] // np.uint64(CACHE_BLOCK_SIZE)
+    ticks = recs["tick"].astype(np.int64)
+    order = np.argsort(blocks, kind="stable")
+    sorted_blocks = blocks[order]
+    sorted_ticks = ticks[order]
+    same = sorted_blocks[1:] == sorted_blocks[:-1]
+    gaps = sorted_ticks[1:] - sorted_ticks[:-1]
+    return gaps[same]
+
+
+@dataclass(frozen=True)
+class IntervalSummary:
+    """Summary statistics of an inter-access interval distribution."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    max: float
+
+    def row(self) -> tuple[float, ...]:
+        """Values in display order (count, mean, median, p90, p99, max)."""
+        return (self.count, self.mean, self.median, self.p90, self.p99, self.max)
+
+
+def summarize_intervals(intervals: np.ndarray) -> IntervalSummary:
+    """Condense an interval sample into an :class:`IntervalSummary`."""
+    if not len(intervals):
+        return IntervalSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return IntervalSummary(
+        count=int(len(intervals)),
+        mean=float(np.mean(intervals)),
+        median=float(np.median(intervals)),
+        p90=float(np.percentile(intervals, 90)),
+        p99=float(np.percentile(intervals, 99)),
+        max=float(np.max(intervals)),
+    )

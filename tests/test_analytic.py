@@ -1,0 +1,108 @@
+"""Unit tests for the stack-distance analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import StackProfile, profile_blocks, stack_distances
+
+
+class TestStackDistances:
+    def test_empty(self):
+        assert len(stack_distances(np.array([], dtype=np.int64))) == 0
+
+    def test_first_touches_are_minus_one(self):
+        d = stack_distances(np.array([1, 2, 3]))
+        assert list(d) == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        d = stack_distances(np.array([7, 7]))
+        assert d[1] == 0
+
+    def test_classic_sequence(self):
+        # A B C A -> final A at distance 2
+        d = stack_distances(np.array([0, 1, 2, 0]))
+        assert d[3] == 2
+
+    def test_duplicates_counted_once(self):
+        # A B B A -> final A at distance 1 (B counted once)
+        d = stack_distances(np.array([0, 1, 1, 0]))
+        assert d[3] == 1
+
+    def test_matches_naive_model_on_random_stream(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 30, size=400)
+        fast = stack_distances(blocks)
+        # naive reference: LRU stack
+        stack: list[int] = []
+        slow = []
+        for b in blocks.tolist():
+            if b in stack:
+                idx = stack.index(b)
+                slow.append(len(stack) - 1 - idx)
+                stack.pop(idx)
+            else:
+                slow.append(-1)
+            stack.append(b)
+        assert list(fast) == slow
+
+
+class TestStackProfile:
+    def test_cold_share(self):
+        p = profile_blocks(np.array([1, 2, 3, 1]))
+        assert p.cold == 3
+        assert p.cold_share == pytest.approx(0.75)
+
+    def test_miss_rate_monotone_in_capacity(self):
+        rng = np.random.default_rng(0)
+        p = profile_blocks(rng.integers(0, 100, size=5000))
+        rates = [p.miss_rate(c) for c in (1, 4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_infinite_capacity_leaves_cold_misses(self):
+        p = profile_blocks(np.array([1, 2, 1, 2]))
+        assert p.miss_rate(10_000) == pytest.approx(p.cold_share)
+
+    def test_capacity_one_catches_immediate_reuse(self):
+        p = profile_blocks(np.array([5, 5, 5]))
+        assert p.miss_rate(1) == pytest.approx(1 / 3)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            profile_blocks(np.array([1])).miss_rate(0)
+
+    def test_curve_shape(self):
+        p = profile_blocks(np.array([1, 2, 3, 1, 2, 3]))
+        curve = p.curve([1, 3, 8])
+        assert [c for c, _ in curve] == [1, 3, 8]
+        assert curve[-1][1] == pytest.approx(0.5)  # only cold misses left
+
+    def test_empty_profile(self):
+        p = profile_blocks(np.array([], dtype=np.int64))
+        assert p.miss_rate(4) == 0.0
+        assert p.cold_share == 0.0
+
+
+class TestAgainstSimulator:
+    def test_fully_associative_prediction_matches_high_assoc_sim(self):
+        """A 64-way set-assoc cache ~= fully associative: predicted
+        miss rates must track the simulator within a few points."""
+        from repro.cache.set_assoc import SetAssociativeCache
+        from repro.config import CacheGeometry
+
+        rng = np.random.default_rng(7)
+        # working set with strong locality: 80% of refs to 40 hot blocks
+        n = 5000
+        hot = rng.integers(0, 40, size=n)
+        cold = rng.integers(40, 4000, size=n)
+        blocks = np.where(rng.random(n) < 0.8, hot, cold)
+
+        profile = profile_blocks(blocks)
+        capacity = 128  # blocks
+        predicted = profile.miss_rate(capacity)
+
+        cache = SetAssociativeCache(CacheGeometry(capacity * 64, 64))
+        hits = 0
+        for i, b in enumerate(blocks.tolist()):
+            hits += cache.access(int(b) * 64, False, 0, i).hit
+        simulated = 1 - hits / len(blocks)
+        assert predicted == pytest.approx(simulated, abs=0.05)

@@ -1,0 +1,89 @@
+"""Unit tests for the structural array area/energy model."""
+
+import pytest
+
+from repro.config import CacheGeometry
+from repro.energy.array_model import SRAM_CELL, STT_CELL, CellParams, estimate_array
+
+KB = 1024
+
+
+def geom(kb, ways=16):
+    return CacheGeometry(kb * KB, ways)
+
+
+class TestCellParams:
+    def test_builtin_cells_valid(self):
+        assert SRAM_CELL.cell_area_um2 > STT_CELL.cell_area_um2
+
+    def test_rejects_non_positive_area(self):
+        with pytest.raises(ValueError):
+            CellParams("x", 0.0, 1.0, 1.0, 0.0, 1.0)
+
+    def test_rejects_negative_leak(self):
+        with pytest.raises(ValueError):
+            CellParams("x", 1.0, 1.0, 1.0, -1.0, 1.0)
+
+
+class TestTrends:
+    def test_energy_grows_with_capacity(self):
+        small = estimate_array(geom(256), SRAM_CELL)
+        big = estimate_array(geom(1024), SRAM_CELL)
+        assert big.read_energy_nj > small.read_energy_nj
+        assert big.leakage_mw > small.leakage_mw
+        assert big.area_mm2 > small.area_mm2
+
+    def test_energy_scaling_is_sublinear(self):
+        small = estimate_array(geom(256), SRAM_CELL)
+        big = estimate_array(geom(1024), SRAM_CELL)
+        # 4x capacity should cost much less than 4x read energy
+        assert big.read_energy_nj < small.read_energy_nj * 3
+
+    def test_sram_leakage_roughly_linear_in_bits(self):
+        small = estimate_array(geom(256), SRAM_CELL)
+        big = estimate_array(geom(1024), SRAM_CELL)
+        assert big.leakage_mw / small.leakage_mw == pytest.approx(4.0, rel=0.35)
+
+    def test_stt_density_advantage(self):
+        sram = estimate_array(geom(1024), SRAM_CELL)
+        stt = estimate_array(geom(1024), STT_CELL)
+        assert sram.area_mm2 / stt.area_mm2 == pytest.approx(
+            SRAM_CELL.cell_area_um2 / STT_CELL.cell_area_um2, rel=0.01)
+
+    def test_stt_writes_cost_more_than_reads(self):
+        stt = estimate_array(geom(1024), STT_CELL)
+        assert stt.write_energy_nj > stt.read_energy_nj
+
+    def test_sram_read_write_similar(self):
+        sram = estimate_array(geom(1024), SRAM_CELL)
+        assert sram.write_energy_nj == pytest.approx(sram.read_energy_nj, rel=0.3)
+
+    def test_stt_leakage_below_sram(self):
+        sram = estimate_array(geom(1024), SRAM_CELL)
+        stt = estimate_array(geom(1024), STT_CELL)
+        assert stt.leakage_mw < sram.leakage_mw * 0.5
+
+    def test_more_ways_more_tag_energy(self):
+        low = estimate_array(CacheGeometry(1024 * KB, 4), SRAM_CELL)
+        high = estimate_array(CacheGeometry(1024 * KB, 32), SRAM_CELL)
+        assert high.read_energy_nj > low.read_energy_nj
+
+    def test_row_renders(self):
+        row = estimate_array(geom(256), SRAM_CELL).row()
+        assert len(row) == 5
+        assert "256 KB" in row[0]
+
+
+class TestConsistencyWithCalibratedModel:
+    def test_relative_leakage_matches_technology_constants(self):
+        """The structural model's SRAM:STT leakage ratio should be in
+        the same regime as the calibrated constants (periphery keeps
+        STT leakage well above zero but far below SRAM)."""
+        from repro.energy.technology import sram, stt_ram
+
+        sram_est = estimate_array(geom(1024), SRAM_CELL)
+        stt_est = estimate_array(geom(1024), STT_CELL)
+        structural_ratio = stt_est.leakage_mw / sram_est.leakage_mw
+        calibrated_ratio = stt_ram("short").leakage_mw_per_mb / sram().leakage_mw_per_mb
+        assert 0.05 < structural_ratio < 0.6
+        assert 0.05 < calibrated_ratio < 0.6

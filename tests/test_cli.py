@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "browser"
+        assert args.design == "static-stt"
+
+    def test_figure_range_checked(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestList:
+    def test_lists_everything(self):
+        code, out = run_cli("list")
+        assert code == 0
+        for token in ("browser", "dynamic-stt", "lru", "medium"):
+            assert token in out
+
+
+class TestRun:
+    def test_run_baseline(self):
+        code, out = run_cli("run", "--app", "game", "--design", "baseline",
+                            "--length", "30000")
+        assert code == 0
+        assert "demand miss rate" in out
+        assert "L2 energy" in out
+
+    def test_run_with_prefetcher(self):
+        code, out = run_cli("run", "--app", "game", "--design", "baseline",
+                            "--length", "30000", "--prefetcher", "nextline")
+        assert code == 0
+
+    def test_run_with_banked_dram(self):
+        code, out = run_cli("run", "--app", "game", "--design", "static-sram",
+                            "--length", "30000", "--banked-dram")
+        assert code == 0
+
+    def test_prefetcher_rejected_for_dynamic(self):
+        code, _ = run_cli("run", "--app", "game", "--design", "dynamic-stt",
+                          "--length", "30000", "--prefetcher", "stride")
+        assert code == 2
+
+
+class TestArtifacts:
+    def test_table_1(self):
+        code, out = run_cli("table", "1")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_table_4_short(self):
+        code, out = run_cli("table", "4", "--length", "30000")
+        assert code == 0
+        assert "Table 4" in out
+
+    def test_figure_1_short(self):
+        code, out = run_cli("figure", "1", "--length", "30000")
+        assert code == 0
+        assert "Figure 1" in out
+
+    def test_figure_7_short(self):
+        code, out = run_cli("figure", "7", "--length", "30000")
+        assert code == 0
+        assert "Figure 7" in out
+
+
+class TestTraceCommand:
+    def test_trace_roundtrip(self, tmp_path):
+        out_file = tmp_path / "t.npz"
+        code, out = run_cli("trace", "--app", "music", "--length", "5000",
+                            "--out", str(out_file))
+        assert code == 0
+        assert out_file.exists()
+        from repro.trace.io import load_trace
+
+        trace = load_trace(out_file)
+        assert trace.name == "music"
+        assert len(trace) == 5000
+
+
+class TestSearch:
+    def test_search_prints_choice(self):
+        code, out = run_cli("search", "--length", "25000", "--apps", "game")
+        assert code == 0
+        assert "chosen partition" in out
+
+
+class TestExport:
+    def test_export_csv(self, tmp_path):
+        out_file = tmp_path / "grid.csv"
+        code, out = run_cli("export", "--out", str(out_file), "--length", "30000")
+        assert code == 0
+        assert "32 rows" in out
+        assert out_file.exists()

@@ -1,0 +1,93 @@
+"""Unit tests for the drowsy-SRAM comparison design."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import DEFAULT_PLATFORM, CacheGeometry
+from repro.core.baseline import BaselineDesign
+from repro.core.drowsy import DROWSY_LEAKAGE_SCALE, DrowsySRAMDesign
+from repro.energy.technology import stt_ram
+
+
+class TestEngineAwakeAccounting:
+    def one_set(self, window=100):
+        return SetAssociativeCache(CacheGeometry(4 * 64, 4), "lru", drowsy_window=window)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="drowsy_window"):
+            self.one_set(window=0)
+
+    def test_awake_time_capped_by_window(self):
+        c = self.one_set(window=100)
+        c.access(0x0, False, 0, 0)
+        c.access(0x0, False, 0, 1000)  # 1000 elapsed, only 100 awake
+        assert c.awake_block_ticks == 100
+        assert c.drowsy_wakeups == 1
+
+    def test_frequent_touches_stay_awake(self):
+        c = self.one_set(window=100)
+        c.access(0x0, False, 0, 0)
+        c.access(0x0, False, 0, 50)
+        c.access(0x0, False, 0, 90)
+        assert c.awake_block_ticks == 90  # fully awake span
+        assert c.drowsy_wakeups == 0
+
+    def test_finalize_accounts_tail(self):
+        c = self.one_set(window=100)
+        c.access(0x0, False, 0, 0)
+        c.finalize(1_000)
+        assert c.awake_block_ticks == 100
+
+    def test_eviction_accounts_victim(self):
+        c = SetAssociativeCache(CacheGeometry(1 * 64, 1), "lru", drowsy_window=100)
+        c.access(0x0, False, 0, 0)
+        c.access(0x40 * 16, False, 0, 500)  # evicts 0x0 after 500 ticks
+        assert c.awake_block_ticks == 100
+
+    def test_no_accounting_without_window(self):
+        c = SetAssociativeCache(CacheGeometry(4 * 64, 4), "lru")
+        c.access(0x0, False, 0, 0)
+        c.access(0x0, False, 0, 1000)
+        assert c.awake_block_ticks == 0
+
+
+class TestDrowsyDesign:
+    def test_rejects_finite_retention_tech(self):
+        with pytest.raises(ValueError, match="SRAM technique"):
+            DrowsySRAMDesign(tech=stt_ram("short"))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            DrowsySRAMDesign(drowsy_window=-5)
+
+    def test_saves_energy_vs_baseline(self, browser_stream_small):
+        base = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        drowsy = DrowsySRAMDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        assert drowsy.l2_energy.total_j < base.l2_energy.total_j
+
+    def test_leakage_floor_is_drowsy_scale(self, browser_stream_small):
+        base = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        drowsy = DrowsySRAMDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        # leakage can never drop below the drowsy-voltage floor
+        assert drowsy.l2_energy.leakage_j >= base.l2_energy.leakage_j * DROWSY_LEAKAGE_SCALE * 0.9
+
+    def test_same_miss_rate_as_baseline(self, browser_stream_small):
+        base = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        drowsy = DrowsySRAMDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        # drowsy mode is state-preserving: hit/miss behaviour identical
+        assert drowsy.l2_stats.demand_misses == base.l2_stats.demand_misses
+
+    def test_wakeups_cost_performance(self, browser_stream_small):
+        base = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        drowsy = DrowsySRAMDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        assert drowsy.timing.busy_cycles >= base.timing.busy_cycles
+        assert drowsy.extras["drowsy_wakeups"] > 0
+
+    def test_awake_fraction_in_unit_range(self, browser_stream_small):
+        drowsy = DrowsySRAMDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        assert 0.0 <= drowsy.extras["awake_fraction"] <= 1.0
+
+    def test_longer_window_more_awake_energy(self, browser_stream_small):
+        short = DrowsySRAMDesign(drowsy_window=500).run(browser_stream_small, DEFAULT_PLATFORM)
+        long = DrowsySRAMDesign(drowsy_window=200_000).run(browser_stream_small, DEFAULT_PLATFORM)
+        assert long.l2_energy.leakage_j > short.l2_energy.leakage_j

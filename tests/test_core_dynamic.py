@@ -1,0 +1,153 @@
+"""Unit/integration tests for the dynamic partition design."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import L2Stream
+from repro.cache.stats import CacheStats
+from repro.config import DEFAULT_PLATFORM
+from repro.core.dynamic_partition import DynamicControllerConfig, DynamicPartitionDesign
+from repro.energy.technology import sram, stt_ram
+from repro.types import Privilege
+
+
+def synthetic_stream(rows, name="synth", instructions=1_000_000, duration=None):
+    """Build an L2Stream from (tick, addr, priv, write, demand) tuples."""
+    ticks = np.array([r[0] for r in rows], dtype=np.int64)
+    duration = duration if duration is not None else (int(ticks[-1]) + 1 if len(rows) else 0)
+    return L2Stream(
+        name=name,
+        ticks=ticks,
+        addrs=np.array([r[1] for r in rows], dtype=np.uint64),
+        privs=np.array([r[2] for r in rows], dtype=np.uint8),
+        writes=np.array([r[3] for r in rows], dtype=bool),
+        demand=np.array([r[4] for r in rows], dtype=bool),
+        instructions=instructions,
+        trace_accesses=len(rows),
+        duration_ticks=duration,
+        l1i_stats=CacheStats(),
+        l1d_stats=CacheStats(),
+    )
+
+
+class TestControllerConfig:
+    def test_defaults_valid(self):
+        cfg = DynamicControllerConfig()
+        assert cfg.min_ways >= 1
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            DynamicControllerConfig(epoch_ticks=0)
+
+    def test_rejects_start_above_max(self):
+        with pytest.raises(ValueError):
+            DynamicControllerConfig(start_user_ways=12, max_user_ways=10)
+
+    def test_rejects_inverted_hysteresis(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            DynamicControllerConfig(grow_miss_rate=0.1, shrink_miss_rate=0.2)
+
+    def test_rejects_zero_grow_step(self):
+        with pytest.raises(ValueError, match="grow_step"):
+            DynamicControllerConfig(grow_step=0)
+
+
+class TestIdleGating:
+    def test_idle_epochs_gate_to_min(self):
+        # activity at start, then a long silent gap spanning many epochs
+        rows = [(i * 10, (i % 50) * 64, 0, False, True) for i in range(300)]
+        rows.append((2_000_000, 0, 0, False, True))
+        stream = synthetic_stream(rows)
+        cfg = DynamicControllerConfig(epoch_ticks=25_000)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
+        uw = r.extras["timeline_user_ways"]
+        assert min(uw) == cfg.min_ways  # gated during the silent span
+
+    def test_gating_reduces_byte_seconds(self):
+        rows = [(i * 10, (i % 50) * 64, 0, False, True) for i in range(300)]
+        rows.append((5_000_000, 0, 0, False, True))
+        stream = synthetic_stream(rows)
+        r = DynamicPartitionDesign().run(stream, DEFAULT_PLATFORM)
+        user_seg = r.segment("user")
+        full_time = r.timing.seconds(DEFAULT_PLATFORM)
+        assert user_seg.byte_seconds < user_seg.size_bytes * full_time * 0.8
+
+    def test_wake_restores_retained_blocks(self):
+        # touch a working set, sleep far beyond several epochs, touch again
+        ws = [(i, (i % 20) * 64, 0, False, True) for i in range(2000)]
+        wake = [(1_000_000 + i, (i % 20) * 64, 0, False, True) for i in range(2000)]
+        stream = synthetic_stream(ws + wake)
+        cfg = DynamicControllerConfig(epoch_ticks=25_000)
+        d = DynamicPartitionDesign(cfg)  # short retention 8 ms >> 1 M ticks
+        r = d.run(stream, DEFAULT_PLATFORM)
+        # second burst should hit: data retained through the gated idle
+        assert r.l2_stats.hits > 3_000
+
+
+class TestResizing:
+    def test_timeline_recorded(self):
+        rows = [(i * 5, (i % 100) * 64, i % 2, False, True) for i in range(5000)]
+        stream = synthetic_stream(rows)
+        r = DynamicPartitionDesign().run(stream, DEFAULT_PLATFORM)
+        tl = r.extras
+        assert len(tl["timeline_ticks"]) == len(tl["timeline_user_ways"])
+        assert len(tl["timeline_ticks"]) == len(tl["timeline_kernel_ways"])
+
+    def test_ways_respect_bounds(self):
+        rows = [(i * 5, int(np.random.default_rng(i % 7).integers(0, 4000)) * 64,
+                 i % 2, False, True) for i in range(8000)]
+        stream = synthetic_stream(rows)
+        cfg = DynamicControllerConfig()
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
+        assert all(cfg.min_ways <= w <= cfg.max_user_ways for w in r.extras["timeline_user_ways"])
+        assert all(cfg.min_ways <= w <= cfg.max_kernel_ways for w in r.extras["timeline_kernel_ways"])
+
+    def test_thrashing_segment_grows(self):
+        # uniform traffic over a working set far beyond the start size
+        rng = np.random.default_rng(3)
+        rows = [(i * 3, int(rng.integers(0, 8000)) * 64, 0, False, True)
+                for i in range(60_000)]
+        stream = synthetic_stream(rows)
+        cfg = DynamicControllerConfig(epoch_ticks=10_000, start_user_ways=2)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
+        assert max(r.extras["timeline_user_ways"]) > 2
+
+
+class TestEnergyAccounting:
+    def test_sram_variant_loses_data_on_gating(self):
+        ws = [(i, (i % 20) * 64, 0, False, True) for i in range(2000)]
+        wake = [(1_000_000 + i, (i % 20) * 64, 0, False, True) for i in range(2000)]
+        stream = synthetic_stream(ws + wake)
+        cfg = DynamicControllerConfig(epoch_ticks=25_000)
+        stt = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
+        sram_d = DynamicPartitionDesign(
+            cfg, user_tech=sram(), kernel_tech=sram(), name="dynamic-sram"
+        ).run(stream, DEFAULT_PLATFORM)
+        assert sram_d.l2_stats.hits <= stt.l2_stats.hits
+
+    def test_segments_report_max_provisioned_size(self):
+        rows = [(i, (i % 10) * 64, 0, False, True) for i in range(1000)]
+        stream = synthetic_stream(rows)
+        cfg = DynamicControllerConfig()
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
+        assert r.segment("user").size_bytes == cfg.max_user_ways * 64 * 1024
+
+    def test_result_structure(self, browser_stream_small):
+        r = DynamicPartitionDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        assert r.design == "dynamic-stt"
+        r.l2_stats.check_invariants()
+        assert r.l2_energy.total_j > 0
+        assert r.extras["user_resizes"] >= 0
+
+    def test_dynamic_leakage_below_static_on_idle_heavy_stream(self):
+        from repro.core.multi_retention import multi_retention_design
+
+        # bursts separated by long idle spans: gating should win clearly
+        rows = []
+        for burst in range(5):
+            start = burst * 2_000_000
+            rows += [(start + i, (i % 40) * 64, i % 2, False, True) for i in range(1000)]
+        stream = synthetic_stream(rows)
+        dyn = DynamicPartitionDesign().run(stream, DEFAULT_PLATFORM)
+        static = multi_retention_design().run(stream, DEFAULT_PLATFORM)
+        assert dyn.l2_energy.leakage_j < static.l2_energy.leakage_j

@@ -1,0 +1,127 @@
+"""Unit tests for the DRAM bank/row-buffer model."""
+
+import pytest
+
+from repro.dram import DRAMConfig, DRAMModel
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DRAMConfig()
+
+    def test_rejects_non_pow2_banks(self):
+        with pytest.raises(ValueError, match="banks"):
+            DRAMConfig(banks=6)
+
+    def test_rejects_non_pow2_row(self):
+        with pytest.raises(ValueError, match="row_bytes"):
+            DRAMConfig(row_bytes=3000)
+
+    def test_rejects_inverted_latencies(self):
+        with pytest.raises(ValueError, match="t_row_hit"):
+            DRAMConfig(t_row_hit=200, t_row_miss=100)
+
+
+class TestAccess:
+    def test_first_access_is_row_miss(self):
+        d = DRAMModel()
+        lat = d.access(0x0, 0)
+        assert lat == d.config.t_row_miss
+        assert d.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        d = DRAMModel()
+        d.access(0x0, 0)
+        lat = d.access(0x40, 1_000)
+        assert lat == d.config.t_row_hit
+        assert d.stats.row_hits == 1
+
+    def test_different_row_same_bank_misses(self):
+        d = DRAMModel()
+        cfg = d.config
+        d.access(0x0, 0)
+        # same bank: row index differs by banks
+        other = cfg.row_bytes * cfg.banks
+        lat = d.access(other, 10_000)
+        assert lat == cfg.t_row_miss
+        assert d.stats.row_misses == 2
+
+    def test_bank_conflict_adds_wait(self):
+        d = DRAMModel()
+        cfg = d.config
+        d.access(0x0, 0)
+        # immediately hit the same bank while busy
+        lat = d.access(0x40, 1)
+        assert lat > cfg.t_row_hit
+        assert d.stats.busy_stalls == 1
+
+    def test_banks_are_independent(self):
+        d = DRAMModel()
+        cfg = d.config
+        d.access(0, 0)
+        lat = d.access(cfg.row_bytes, 1)  # next row -> next bank
+        assert lat == cfg.t_row_miss  # no busy wait
+
+    def test_read_write_counted(self):
+        d = DRAMModel()
+        d.access(0x0, 0, is_write=False)
+        d.access(0x40, 500, is_write=True)
+        assert d.stats.reads == 1
+        assert d.stats.writes == 1
+
+    def test_mean_latency(self):
+        d = DRAMModel()
+        d.access(0x0, 0)
+        d.access(0x40, 10_000)
+        expected = (d.config.t_row_miss + d.config.t_row_hit) / 2
+        assert d.stats.mean_latency == pytest.approx(expected)
+
+
+class TestEnergy:
+    def test_dynamic_components(self):
+        d = DRAMModel()
+        d.access(0x0, 0)          # miss: activate + column
+        d.access(0x40, 10_000)    # hit: column only
+        cfg = d.config
+        expected = (cfg.e_activate_nj + 2 * cfg.e_column_nj) * 1e-9
+        assert d.energy_j() == pytest.approx(expected)
+
+    def test_background_energy(self):
+        d = DRAMModel()
+        assert d.energy_j(busy_seconds=1.0) == pytest.approx(d.config.e_background_mw * 1e-3)
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ValueError):
+            DRAMModel().energy_j(-1.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        d = DRAMModel()
+        d.access(0x0, 0)
+        d.reset()
+        assert d.stats.accesses == 0
+        assert d.access(0x0, 0) == d.config.t_row_miss  # row closed again
+
+
+class TestDesignIntegration:
+    def test_streaming_misses_earn_row_hits(self, browser_stream_small):
+        from repro.config import DEFAULT_PLATFORM
+        from repro.core import BaselineDesign
+
+        dram = DRAMModel()
+        r = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM, dram_model=dram)
+        assert dram.stats.accesses > 0
+        assert 0.0 < dram.stats.row_hit_rate < 1.0
+        assert r.extras["dram_stats"] is dram.stats
+
+    def test_banked_timing_differs_from_flat(self, browser_stream_small):
+        from repro.config import DEFAULT_PLATFORM
+        from repro.core import BaselineDesign
+
+        flat = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        banked = BaselineDesign().run(
+            browser_stream_small, DEFAULT_PLATFORM, dram_model=DRAMModel())
+        assert banked.timing.dram_stall_cycles != flat.timing.dram_stall_cycles
+        # miss counts are identical — DRAM only changes latency/energy
+        assert banked.l2_stats.demand_misses == flat.l2_stats.demand_misses

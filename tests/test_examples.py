@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each runs in a subprocess with a reduced trace length.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# (script, extra argv) — lengths kept small for CI speed
+CASES = [
+    ("quickstart.py", ["30000"]),
+    ("design_space_exploration.py", ["30000"]),
+    ("custom_workload.py", ["30000"]),
+    ("retention_tuning.py", ["30000"]),
+    ("multicore_sharing.py", ["20000"]),
+    ("external_trace.py", []),
+    ("diagnostics.py", ["30000"]),
+]
+
+
+def run_example(script: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = run_example(script, args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 100  # it printed its artifact
+
+
+def test_all_examples_are_covered():
+    """Every example in the directory has a smoke test (reproduce_paper
+    is exempt: it is the full-scale artifact run exercised by the
+    benchmark suite)."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES} | {"reproduce_paper.py"}
+    assert on_disk == covered

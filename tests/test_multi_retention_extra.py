@@ -1,0 +1,101 @@
+"""Additional coverage: multi-retention corner cases and design extras."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core import (
+    DESIGN_NAMES,
+    BaselineDesign,
+    DynamicControllerConfig,
+    DynamicPartitionDesign,
+    StaticPartitionDesign,
+    make_design,
+    multi_retention_design,
+)
+from repro.energy.technology import RETENTION_CLASSES, stt_ram
+from repro.trace.workloads import EXTRA_APP_NAMES, app_profile
+
+
+class TestExtraApps:
+    def test_extra_apps_build(self):
+        for name in EXTRA_APP_NAMES:
+            assert app_profile(name).name == name
+
+    def test_extra_apps_not_in_canonical_suite(self):
+        from repro.trace.workloads import APP_NAMES
+
+        assert not set(EXTRA_APP_NAMES) & set(APP_NAMES)
+
+    def test_designs_run_on_extra_apps(self):
+        from repro.cache.hierarchy import l1_filter
+        from repro.trace.generator import generate_trace
+
+        for name in EXTRA_APP_NAMES:
+            stream = l1_filter(
+                generate_trace(app_profile(name), 20_000, seed=0), DEFAULT_PLATFORM)
+            r = multi_retention_design().run(stream, DEFAULT_PLATFORM)
+            r.l2_stats.check_invariants()
+
+
+class TestRetentionClassCoverage:
+    @pytest.mark.parametrize("user_ret", sorted(RETENTION_CLASSES))
+    @pytest.mark.parametrize("kernel_ret", sorted(RETENTION_CLASSES))
+    def test_every_retention_pairing_runs(self, user_ret, kernel_ret,
+                                          browser_stream_small):
+        d = multi_retention_design(
+            user_retention=user_ret, kernel_retention=kernel_ret,
+            name=f"{user_ret}/{kernel_ret}")
+        r = d.run(browser_stream_small, DEFAULT_PLATFORM)
+        r.l2_stats.check_invariants()
+        assert r.l2_energy.total_j > 0
+
+    def test_long_retention_uses_no_refresh_machinery(self, browser_stream_small):
+        d = multi_retention_design(user_retention="long", kernel_retention="long")
+        r = d.run(browser_stream_small, DEFAULT_PLATFORM)
+        assert r.l2_stats.expiry_invalidations == 0
+        assert r.l2_stats.refresh_writes == 0
+
+    def test_write_energy_ordering_across_classes(self):
+        sizes = 1024 * 1024
+        energies = [stt_ram(c).write_energy_nj(sizes) for c in ("long", "medium", "short")]
+        assert energies[0] > energies[1] > energies[2]
+
+
+class TestDesignRegistryConsistency:
+    def test_design_names_match_instances(self):
+        for name in DESIGN_NAMES:
+            design = make_design(name)
+            assert design.name == name
+
+    def test_fresh_instance_each_call(self):
+        assert make_design("baseline") is not make_design("baseline")
+
+
+class TestDynamicExtras:
+    def test_timeline_starts_at_configured_ways(self, browser_stream_small):
+        cfg = DynamicControllerConfig(start_user_ways=6, start_kernel_ways=3)
+        r = DynamicPartitionDesign(cfg).run(browser_stream_small, DEFAULT_PLATFORM)
+        assert r.extras["timeline_user_ways"][0] == 6
+        assert r.extras["timeline_kernel_ways"][0] == 3
+
+    def test_resize_counters_reported(self, browser_stream_small):
+        r = DynamicPartitionDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        assert r.extras["user_resizes"] + r.extras["kernel_resizes"] >= 0
+
+    def test_min_ways_floor_respected(self, browser_stream_small):
+        cfg = DynamicControllerConfig(min_ways=2, start_user_ways=4,
+                                      start_kernel_ways=2)
+        r = DynamicPartitionDesign(cfg).run(browser_stream_small, DEFAULT_PLATFORM)
+        assert min(r.extras["timeline_user_ways"]) >= 2
+        assert min(r.extras["timeline_kernel_ways"]) >= 2
+
+
+class TestReplayParity:
+    def test_shared_16way_equals_partition_10_6_total_behavior(self, browser_stream_small):
+        """Sanity: the equal-size partition sees exactly the same demand
+        stream as the shared baseline (identical access totals)."""
+        base = BaselineDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+        part = StaticPartitionDesign(user_ways=10, kernel_ways=6).run(
+            browser_stream_small, DEFAULT_PLATFORM)
+        assert base.l2_stats.accesses == part.l2_stats.accesses
+        assert base.l2_stats.demand_accesses == part.l2_stats.demand_accesses

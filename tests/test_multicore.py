@@ -1,0 +1,83 @@
+"""Tests for the multi-core shared-L2 extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core import BaselineDesign, StaticPartitionDesign
+from repro.multicore import kernel_block_sharing, merge_streams, multicore_stream
+
+LENGTH = 30_000
+
+
+@pytest.fixture(scope="module")
+def duo():
+    return multicore_stream(("browser", "game"), LENGTH)
+
+
+class TestMergeStreams:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_streams([])
+
+    def test_tick_order(self, duo):
+        assert np.all(np.diff(duo.ticks) >= 0)
+
+    def test_row_count_is_sum(self, duo):
+        from repro.cache.hierarchy import l1_filter
+        from repro.trace.transform import remap_user_space
+        from repro.trace.workloads import suite_trace
+
+        a = l1_filter(remap_user_space(suite_trace("browser", LENGTH, seed=0), 0),
+                      DEFAULT_PLATFORM)
+        b = l1_filter(remap_user_space(suite_trace("game", LENGTH, seed=1), 1),
+                      DEFAULT_PLATFORM)
+        assert len(duo.ticks) == len(a.ticks) + len(b.ticks)
+
+    def test_instructions_sum(self, duo):
+        assert duo.instructions > LENGTH * 2  # both cores' instructions
+
+    def test_name_combines(self, duo):
+        assert duo.name == "browser+game"
+
+
+class TestAddressSpaces:
+    def test_user_spaces_disjoint(self, duo):
+        user = duo.addrs[duo.privs == 0]
+        core0 = user[user < (1 << 34)]
+        core1 = user[user >= (1 << 34)]
+        assert len(core0) and len(core1)
+
+    def test_kernel_space_shared(self, duo):
+        sharing = kernel_block_sharing(duo)
+        assert sharing > 0.5  # most kernel blocks touched by both cores
+
+    def test_single_core_stream_matches_plain(self):
+        solo = multicore_stream(("game",), LENGTH)
+        assert solo.name == "game"
+        assert 0.0 < solo.kernel_share() < 1.0
+
+
+class TestDesignsOnMulticore:
+    def test_designs_run(self, duo):
+        base = BaselineDesign().run(duo, DEFAULT_PLATFORM)
+        part = StaticPartitionDesign().run(duo, DEFAULT_PLATFORM)
+        base.l2_stats.check_invariants()
+        part.l2_stats.check_invariants()
+        assert part.l2_stats.cross_privilege_evictions == 0
+
+    def test_kernel_share_stays_high(self, duo):
+        assert duo.kernel_share() > 0.3
+
+    def test_core_scaling_asymmetry(self):
+        """More cores: user blocks contend (ASID-disjoint) while kernel
+        blocks benefit from cross-core sharing — the asymmetry the
+        shared kernel address space creates."""
+        from repro.types import Privilege
+
+        solo = multicore_stream(("browser",), 120_000)
+        quad = multicore_stream(("browser", "game", "social", "music"), 120_000)
+        st_solo = BaselineDesign().run(solo, DEFAULT_PLATFORM).l2_stats
+        st_quad = BaselineDesign().run(quad, DEFAULT_PLATFORM).l2_stats
+        assert st_quad.miss_rate_of(Privilege.USER) > st_solo.miss_rate_of(Privilege.USER)
+        assert st_quad.miss_rate_of(Privilege.KERNEL) < st_solo.miss_rate_of(Privilege.KERNEL)

@@ -1,0 +1,79 @@
+"""Tests for the Pareto synthesis and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import export_grid_csv, pareto_frontier
+from repro.experiments.pareto import ParetoPoint, _mark_frontier, candidate_designs
+
+SHORT = 40_000
+
+
+class TestFrontierMarking:
+    def test_single_point_is_frontier(self):
+        pts = _mark_frontier([ParetoPoint("a", 1.0, 0.0)])
+        assert pts[0].on_frontier
+
+    def test_dominated_point_excluded(self):
+        pts = _mark_frontier([
+            ParetoPoint("good", 0.5, 0.01),
+            ParetoPoint("bad", 0.6, 0.02),
+        ])
+        marks = {p.design: p.on_frontier for p in pts}
+        assert marks == {"good": True, "bad": False}
+
+    def test_tradeoff_points_both_on_frontier(self):
+        pts = _mark_frontier([
+            ParetoPoint("cheap", 0.2, 0.05),
+            ParetoPoint("fast", 0.8, 0.00),
+        ])
+        assert all(p.on_frontier for p in pts)
+
+    def test_duplicate_points_both_survive(self):
+        pts = _mark_frontier([
+            ParetoPoint("a", 0.5, 0.01),
+            ParetoPoint("b", 0.5, 0.01),
+        ])
+        assert all(p.on_frontier for p in pts)
+
+
+class TestParetoExperiment:
+    def test_candidates_include_canonicals(self):
+        designs = candidate_designs()
+        for name in ("baseline", "static-stt", "dynamic-stt", "drowsy-sram"):
+            assert name in designs
+
+    def test_runs_on_small_input(self):
+        r = pareto_frontier(SHORT, ("game",))
+        assert len(r.points) == len(candidate_designs())
+        assert any(p.on_frontier for p in r.points)
+        assert "Pareto" in r.render()
+
+    def test_frontier_sorted_by_energy(self):
+        r = pareto_frontier(SHORT, ("game",))
+        f = r.frontier()
+        energies = [p.energy_norm for p in f]
+        assert energies == sorted(energies)
+
+
+class TestCsvExport:
+    def test_grid_export(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        n = export_grid_csv(path, SHORT, ("game",), ("baseline", "static-stt"))
+        assert n == 2
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 2
+        assert rows[0]["design"] == "baseline"
+        assert float(rows[0]["total_energy_j"]) > 0
+        assert 0.0 <= float(rows[0]["demand_miss_rate"]) <= 1.0
+
+    def test_edp_column_consistent(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        export_grid_csv(path, SHORT, ("game",), ("baseline",))
+        with open(path) as f:
+            row = next(csv.DictReader(f))
+        edp = float(row["energy_delay_product"])
+        expected = float(row["total_energy_j"]) * float(row["busy_cycles"]) / 1e9
+        assert edp == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,45 @@
+"""Tests for the platform presets."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM, platform_preset
+
+
+class TestPresets:
+    def test_default_is_the_default(self):
+        assert platform_preset("default") is DEFAULT_PLATFORM
+
+    def test_little_is_smaller_and_slower(self):
+        little = platform_preset("little")
+        assert little.l2.size_bytes < DEFAULT_PLATFORM.l2.size_bytes
+        assert little.clock_hz < DEFAULT_PLATFORM.clock_hz
+        assert little.base_cpi > DEFAULT_PLATFORM.base_cpi
+
+    def test_big_is_bigger_and_faster(self):
+        big = platform_preset("big")
+        assert big.l2.size_bytes > DEFAULT_PLATFORM.l2.size_bytes
+        assert big.clock_hz > DEFAULT_PLATFORM.clock_hz
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown platform preset"):
+            platform_preset("mega")
+
+    def test_presets_are_valid_platforms(self):
+        for name in ("little", "big"):
+            p = platform_preset(name)
+            p.l1i.validate()
+            p.l2.validate()
+
+    def test_designs_run_on_presets(self, browser_trace_small):
+        from repro.cache.hierarchy import l1_filter
+        from repro.core import StaticPartitionDesign
+
+        for name in ("little", "big"):
+            platform = platform_preset(name)
+            stream = l1_filter(browser_trace_small, platform)
+            ways = platform.l2.associativity
+            design = StaticPartitionDesign(
+                user_ways=max(2, ways // 2), kernel_ways=max(1, ways // 4))
+            r = design.run(stream, platform)
+            r.l2_stats.check_invariants()
+            assert r.l2_energy.total_j > 0

@@ -1,0 +1,81 @@
+"""Tests for the exponential retention-lifetime mode."""
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.config import CacheGeometry
+
+
+def cache(dist="exponential", retention=1000, seed=1):
+    return SetAssociativeCache(
+        CacheGeometry(4 * 64, 4), "lru",
+        retention_ticks=retention, refresh_mode="invalidate",
+        retention_distribution=dist, retention_seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError, match="retention_distribution"):
+            cache(dist="weibull")
+
+    def test_fixed_mode_draws_no_lifetimes(self):
+        c = cache(dist="fixed")
+        c.access(0x0, False, 0, 0)
+        entry = c._frames[0][0]
+        assert entry.life is None
+
+    def test_exponential_mode_draws_lifetimes(self):
+        c = cache()
+        c.access(0x0, False, 0, 0)
+        entry = c._frames[0][0]
+        assert entry.life is not None and entry.life >= 1
+
+
+class TestBehaviour:
+    def test_deterministic_for_seed(self):
+        a, b = cache(seed=7), cache(seed=7)
+        hits_a = hits_b = 0
+        for i in range(200):
+            t = i * 100
+            hits_a += a.access((i % 8) * 64, False, 0, t).hit
+            hits_b += b.access((i % 8) * 64, False, 0, t).hit
+        assert hits_a == hits_b
+
+    def test_some_early_deaths_under_exponential(self):
+        """With rewrites every half mean-lifetime, the fixed window
+        never expires but exponential lifetimes sometimes die early."""
+        fixed = cache(dist="fixed", retention=1000)
+        expo = cache(dist="exponential", retention=1000, seed=3)
+        for i in range(400):
+            t = i * 500  # stores every 500 ticks reset the cells
+            fixed.access(0x0, True, 0, t)
+            expo.access(0x0, True, 0, t)
+        assert fixed.stats.expiry_invalidations == 0
+        assert expo.stats.expiry_invalidations > 0
+
+    def test_write_redraws_lifetime(self):
+        c = cache(seed=5)
+        c.access(0x0, True, 0, 0)
+        first = c._frames[0][0].life
+        c.access(0x0, True, 0, 10)
+        second = c._frames[0][0].life
+        assert first != second  # new draw on rewrite (overwhelmingly likely)
+
+    def test_mean_expiry_rate_tracks_exponential_law(self):
+        """P(survive one interval d) should be ~exp(-d/tau)."""
+        import math
+
+        tau, d, n = 1000, 700, 3000
+        c = cache(retention=tau, seed=11)
+        survived = died = 0
+        for i in range(n):
+            t0 = i * 10 * tau  # far apart: fresh fill each round
+            c.access(0x0, False, 0, t0)
+            r = c.access(0x0, False, 0, t0 + d)
+            if r.hit:
+                survived += 1
+            elif r.expired:
+                died += 1
+        p_survive = survived / (survived + died)
+        assert p_survive == pytest.approx(math.exp(-d / tau), abs=0.05)

@@ -1,0 +1,57 @@
+"""Tests for the per-segment breakdown and characterization experiments."""
+
+import pytest
+
+from repro.experiments import characterize_suite, segment_breakdown
+
+SHORT = 40_000
+APPS = ("game", "email")
+
+
+class TestSegmentBreakdown:
+    def test_all_designs_present(self):
+        r = segment_breakdown(SHORT, APPS)
+        assert [row.design for row in r.rows] == [
+            "baseline", "static-sram", "static-stt", "dynamic-stt"]
+
+    def test_energy_shares_sum_to_one(self):
+        r = segment_breakdown(SHORT, APPS)
+        for row in r.rows:
+            total = row.user_energy_uj + row.kernel_energy_uj
+            share = row.kernel_energy_uj / total
+            assert share == pytest.approx(row.kernel_energy_share, rel=1e-6)
+
+    def test_miss_rates_in_unit_range(self):
+        r = segment_breakdown(SHORT, APPS)
+        for row in r.rows:
+            assert 0.0 <= row.user_miss_rate <= 1.0
+            assert 0.0 <= row.kernel_miss_rate <= 1.0
+
+    def test_render(self):
+        assert "Per-segment" in segment_breakdown(SHORT, APPS).render()
+
+    def test_partition_and_baseline_same_privilege_routing(self):
+        """Privilege-level miss rates agree between shared and partitioned
+        designs when the partition does not shrink (sanity of the split
+        accounting)."""
+        r = segment_breakdown(SHORT, APPS)
+        base = next(row for row in r.rows if row.design == "baseline")
+        static = next(row for row in r.rows if row.design == "static-sram")
+        assert static.user_miss_rate == pytest.approx(base.user_miss_rate, abs=0.05)
+
+
+class TestCharacterization:
+    def test_rows_for_all_apps(self):
+        r = characterize_suite(SHORT, APPS)
+        assert [row.app for row in r.rows] == list(APPS)
+
+    def test_fields_plausible(self):
+        r = characterize_suite(SHORT, APPS)
+        for row in r.rows:
+            assert row.footprint_mb > 0
+            assert 0.0 < row.write_fraction < 1.0
+            assert 0.0 < row.l2_traffic_fraction < 1.0
+            assert 0.0 < row.l2_kernel_share < 1.0
+
+    def test_render_contains_mean(self):
+        assert "MEAN" in characterize_suite(SHORT, APPS).render()

@@ -1,0 +1,48 @@
+"""Tests for the sensitivity and seed-robustness experiments."""
+
+from repro.experiments import (
+    dram_latency_sensitivity,
+    l2_latency_sensitivity,
+    seed_robustness,
+)
+
+SHORT = 40_000
+
+
+class TestSensitivity:
+    def test_dram_sweep_structure(self):
+        r = dram_latency_sensitivity(SHORT, apps=("game",), latencies=(100, 200))
+        assert len(r.rows) == 2
+        assert r.rows[0].parameter_value == 100
+        assert "Sensitivity" in r.render()
+
+    def test_energy_norm_in_unit_range(self):
+        r = dram_latency_sensitivity(SHORT, apps=("game",), latencies=(140,))
+        assert 0.0 < r.rows[0].static_stt_energy_norm < 1.0
+
+    def test_higher_dram_latency_lowers_norm(self):
+        # more stall time -> more baseline leakage -> lower STT norm
+        r = dram_latency_sensitivity(SHORT, apps=("game",), latencies=(80, 300))
+        assert r.rows[1].static_stt_energy_norm <= r.rows[0].static_stt_energy_norm
+
+    def test_l2_sweep(self):
+        r = l2_latency_sensitivity(SHORT, apps=("game",), latencies=(12, 30))
+        assert len(r.rows) == 2
+        assert r.energy_spread() >= 0.0
+
+
+class TestSeedRobustness:
+    def test_structure(self):
+        r = seed_robustness(SHORT, seeds=(0, 1), apps=("game",))
+        assert r.seeds == (0, 1)
+        assert len(r.static_savings) == 2
+        assert "Seed robustness" in r.render()
+
+    def test_savings_plausible_every_seed(self):
+        r = seed_robustness(SHORT, seeds=(0, 1), apps=("game", "email"))
+        assert all(0.4 < s < 0.95 for s in r.static_savings)
+        assert all(0.5 < s < 0.98 for s in r.dynamic_savings)
+
+    def test_std_computed(self):
+        r = seed_robustness(SHORT, seeds=(0, 1), apps=("game",))
+        assert r.static_saving_std() >= 0.0

@@ -1,0 +1,91 @@
+"""Unit tests for the timing model."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM, LatencyConfig, PlatformConfig
+from repro.timing.cpu import WRITE_CONTENTION_FACTOR, TimingResult, compute_timing
+
+
+def timing(**kw):
+    defaults = dict(
+        platform=DEFAULT_PLATFORM,
+        instructions=1_000_000,
+        duration_ticks=1_200_000,
+        l1_demand_misses=10_000,
+        l2_demand_misses=2_000,
+        l2_extra_read_cycles=0.0,
+        l2_extra_write_cycles=0.0,
+        l2_writes=5_000,
+    )
+    defaults.update(kw)
+    return compute_timing(**defaults)
+
+
+class TestComputeTiming:
+    def test_base_cycles(self):
+        t = timing()
+        assert t.base_cycles == pytest.approx(1_000_000 * DEFAULT_PLATFORM.base_cpi)
+
+    def test_l2_stall_term(self):
+        t = timing()
+        assert t.l2_access_stall_cycles == pytest.approx(10_000 * DEFAULT_PLATFORM.latency.l2_hit)
+
+    def test_extra_read_latency_adds_stall(self):
+        base = timing()
+        slow = timing(l2_extra_read_cycles=2.0)
+        assert slow.l2_access_stall_cycles - base.l2_access_stall_cycles == pytest.approx(20_000)
+
+    def test_dram_stall_term(self):
+        t = timing()
+        assert t.dram_stall_cycles == pytest.approx(2_000 * DEFAULT_PLATFORM.latency.dram)
+
+    def test_write_contention(self):
+        t = timing(l2_extra_write_cycles=4.0)
+        assert t.write_contention_cycles == pytest.approx(5_000 * 4.0 * WRITE_CONTENTION_FACTOR)
+
+    def test_no_contention_for_sram(self):
+        assert timing().write_contention_cycles == 0.0
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            timing(instructions=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            timing(l2_demand_misses=-1)
+
+
+class TestTimingResult:
+    def test_busy_excludes_idle(self):
+        t = timing(duration_ticks=50_000_000)  # mostly idle
+        assert t.busy_cycles < t.total_cycles
+
+    def test_total_includes_stalls(self):
+        t = timing()
+        assert t.total_cycles == pytest.approx(
+            t.duration_ticks + (t.base_cycles - t.instructions) + t.stall_cycles
+        )
+
+    def test_ipc(self):
+        t = timing()
+        assert t.ipc == pytest.approx(t.instructions / t.busy_cycles)
+
+    def test_perf_loss_positive_for_more_misses(self):
+        fast = timing()
+        slow = timing(l2_demand_misses=4_000)
+        assert slow.perf_loss_vs(fast) > 0
+
+    def test_perf_loss_zero_vs_self(self):
+        t = timing()
+        assert t.perf_loss_vs(t) == pytest.approx(0.0)
+
+    def test_seconds(self):
+        t = timing()
+        p = PlatformConfig(clock_hz=2e9, latency=LatencyConfig())
+        assert t.seconds(p) == pytest.approx(t.total_cycles / 2e9)
+
+    def test_stall_cycles_sum(self):
+        t = timing(l2_extra_write_cycles=1.0)
+        assert t.stall_cycles == pytest.approx(
+            t.l2_access_stall_cycles + t.dram_stall_cycles + t.write_contention_cycles
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for repro.trace.access (the Trace container)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_trace
+from repro.trace.access import Trace
+from repro.types import TRACE_DTYPE, AccessKind, Privilege
+
+
+class TestConstruction:
+    def test_empty_trace(self):
+        t = make_trace([])
+        assert len(t) == 0
+        assert t.duration_ticks == 0
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError, match="TRACE_DTYPE"):
+            Trace("x", np.zeros(4, dtype=np.uint64), 4)
+
+    def test_rejects_fewer_instructions_than_accesses(self):
+        records = np.zeros(4, dtype=TRACE_DTYPE)
+        with pytest.raises(ValueError, match="instructions"):
+            Trace("x", records, 2)
+
+    def test_rejects_decreasing_ticks(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            make_trace([(5, 0, AccessKind.LOAD, Privilege.USER),
+                        (3, 64, AccessKind.LOAD, Privilege.USER)])
+
+    def test_equal_ticks_allowed(self):
+        t = make_trace([(3, 0, AccessKind.LOAD, Privilege.USER),
+                        (3, 64, AccessKind.LOAD, Privilege.USER)])
+        assert len(t) == 2
+
+
+class TestAccessors:
+    def make(self):
+        return make_trace([
+            (0, 0x100, AccessKind.IFETCH, Privilege.USER),
+            (2, 0x200, AccessKind.LOAD, Privilege.USER),
+            (4, 0xC000_0100, AccessKind.STORE, Privilege.KERNEL),
+            (9, 0x100, AccessKind.LOAD, Privilege.USER),
+        ])
+
+    def test_duration(self):
+        assert self.make().duration_ticks == 10
+
+    def test_columns(self):
+        t = self.make()
+        assert list(t.ticks) == [0, 2, 4, 9]
+        assert t.addrs[2] == 0xC000_0100
+
+    def test_privilege_mask(self):
+        t = self.make()
+        assert list(t.privilege_mask(Privilege.KERNEL)) == [False, False, True, False]
+
+    def test_kind_mask(self):
+        t = self.make()
+        assert list(t.kind_mask(AccessKind.LOAD)) == [False, True, False, True]
+
+    def test_kernel_fraction(self):
+        assert self.make().kernel_fraction() == pytest.approx(0.25)
+
+    def test_write_fraction(self):
+        assert self.make().write_fraction() == pytest.approx(0.25)
+
+    def test_empty_fractions_are_zero(self):
+        t = make_trace([])
+        assert t.kernel_fraction() == 0.0
+        assert t.write_fraction() == 0.0
+
+    def test_select(self):
+        t = self.make()
+        sub = t.select(t.privilege_mask(Privilege.USER))
+        assert len(sub) == 3
+        assert sub.kernel_fraction() == 0.0
+        assert sub.instructions == t.instructions
+
+    def test_head_shorter(self):
+        t = self.make()
+        h = t.head(2)
+        assert len(h) == 2
+        assert h.instructions <= t.instructions
+
+    def test_head_longer_is_identity(self):
+        t = self.make()
+        assert t.head(100) is t
+
+    def test_describe_mentions_name_and_counts(self):
+        d = self.make().describe()
+        assert "t" in d and "4" in d

@@ -1,0 +1,173 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import generate_trace
+from repro.trace.phases import AppProfile, PhaseSpec, Region
+from repro.trace.workloads import app_profile
+from repro.types import CACHE_BLOCK_SIZE, KERNEL_SPACE_START, AccessKind, Privilege
+
+_DATA = (0.0, 0.7, 0.3)
+_CODE = (1.0, 0.0, 0.0)
+
+
+def two_phase_profile(**profile_kw):
+    user = Region("u", 0x1000_0000, 64 * 1024, "uniform", kind_weights=_DATA)
+    kern = Region("k", KERNEL_SPACE_START + 0x10000, 32 * 1024, "uniform", kind_weights=_DATA)
+    phases = (
+        PhaseSpec("user", Privilege.USER, (user,), (1.0,), mean_accesses=100),
+        PhaseSpec("kern", Privilege.KERNEL, (kern,), (1.0,), mean_accesses=100),
+    )
+    defaults = dict(
+        name="twophase",
+        description="test",
+        phases=phases,
+        transitions=((0.0, 1.0), (1.0, 0.0)),
+        idle_prob=0.0,
+    )
+    defaults.update(profile_kw)
+    return AppProfile(**defaults)
+
+
+class TestBasics:
+    def test_exact_length(self):
+        t = generate_trace(two_phase_profile(), 5000, seed=1)
+        assert len(t) == 5000
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError, match="length"):
+            generate_trace(two_phase_profile(), 0)
+
+    def test_deterministic(self):
+        a = generate_trace(two_phase_profile(), 2000, seed=3)
+        b = generate_trace(two_phase_profile(), 2000, seed=3)
+        assert np.array_equal(a.records, b.records)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(two_phase_profile(), 2000, seed=3)
+        b = generate_trace(two_phase_profile(), 2000, seed=4)
+        assert not np.array_equal(a.records, b.records)
+
+    def test_ticks_strictly_increasing_without_idle(self):
+        t = generate_trace(two_phase_profile(), 3000, seed=0)
+        assert np.all(np.diff(t.ticks.astype(np.int64)) >= 1)
+
+    def test_block_aligned_addresses(self):
+        t = generate_trace(two_phase_profile(), 1000, seed=0)
+        assert np.all(t.addrs % CACHE_BLOCK_SIZE == 0)
+
+
+class TestPrivilegeAddressConsistency:
+    def test_privileges_match_address_space(self):
+        t = generate_trace(two_phase_profile(), 5000, seed=2)
+        kernel_mask = t.privilege_mask(Privilege.KERNEL)
+        assert np.all(t.addrs[kernel_mask] >= KERNEL_SPACE_START)
+        assert np.all(t.addrs[~kernel_mask] < KERNEL_SPACE_START)
+
+    def test_rejects_region_on_wrong_side(self):
+        bad = Region("bad", 0x1000, 4096, "uniform", kind_weights=_DATA)
+        phases = (PhaseSpec("k", Privilege.KERNEL, (bad,), (1.0,)),)
+        profile = AppProfile("x", "d", phases, ((1.0,),))
+        with pytest.raises(ValueError, match="wrong side"):
+            generate_trace(profile, 100)
+
+    def test_both_privileges_present(self):
+        t = generate_trace(two_phase_profile(), 5000, seed=2)
+        frac = t.kernel_fraction()
+        assert 0.2 < frac < 0.8
+
+
+class TestAddressRanges:
+    def test_addresses_stay_inside_regions(self):
+        t = generate_trace(two_phase_profile(), 5000, seed=5)
+        user = t.addrs[~t.privilege_mask(Privilege.KERNEL)]
+        assert user.min() >= 0x1000_0000
+        assert user.max() < 0x1000_0000 + 64 * 1024
+
+    def test_kind_weights_respected(self):
+        code = Region("c", 0x100_0000, 64 * 1024, "uniform", kind_weights=_CODE)
+        phases = (PhaseSpec("p", Privilege.USER, (code,), (1.0,)),)
+        profile = AppProfile("codeonly", "d", phases, ((1.0,),), idle_prob=0.0)
+        t = generate_trace(profile, 2000, seed=0)
+        assert np.all(t.kinds == int(AccessKind.IFETCH))
+
+
+class TestIdleAndWake:
+    def test_idle_extends_duration_not_instructions(self):
+        quiet = generate_trace(two_phase_profile(), 20_000, seed=1)
+        idle_profile = two_phase_profile(idle_prob=0.8, idle_mean_ticks=50_000)
+        noisy = generate_trace(idle_profile, 20_000, seed=1)
+        assert noisy.duration_ticks > quiet.duration_ticks * 2
+        # instructions should not balloon with idle time
+        assert noisy.instructions < noisy.duration_ticks
+
+    def test_wake_phase_entered_after_idle(self):
+        profile = two_phase_profile(idle_prob=1.0, idle_mean_ticks=10_000, wake_phase=1)
+        t = generate_trace(profile, 20_000, seed=2)
+        ticks = t.ticks.astype(np.int64)
+        gaps = np.diff(ticks)
+        big = np.nonzero(gaps > 5_000)[0]
+        assert len(big) > 0
+        # the access right after each big idle gap must be a kernel access
+        after = t.privs[big + 1]
+        assert np.all(after == int(Privilege.KERNEL))
+
+    def test_zero_idle_mean_disables_idle(self):
+        profile = two_phase_profile(idle_prob=1.0, idle_mean_ticks=0)
+        t = generate_trace(profile, 5000, seed=0)
+        assert np.max(np.diff(t.ticks.astype(np.int64))) < 100
+
+
+class TestPatterns:
+    def _single_region_trace(self, region, n=20_000, seed=0):
+        phases = (PhaseSpec("p", Privilege.USER, (region,), (1.0,), mean_accesses=500),)
+        profile = AppProfile("one", "d", phases, ((1.0,),), idle_prob=0.0)
+        return generate_trace(profile, n, seed=seed)
+
+    def test_hot_concentrates_accesses(self):
+        region = Region("h", 0x100_0000, 256 * 1024, "hot", hotness=4.0,
+                        kind_weights=_DATA, run_mean=1.0)
+        t = self._single_region_trace(region)
+        blocks, counts = np.unique(t.addrs, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_decile = counts[: max(1, len(counts) // 10)].sum() / counts.sum()
+        assert top_decile > 0.4  # top 10% of blocks take >40% of accesses
+
+    def test_uniform_spreads_accesses(self):
+        region = Region("u", 0x100_0000, 64 * 1024, "uniform", kind_weights=_DATA,
+                        run_mean=1.0)
+        t = self._single_region_trace(region)
+        blocks, counts = np.unique(t.addrs, return_counts=True)
+        assert len(blocks) > 900  # nearly all 1024 blocks touched
+        assert counts.max() < counts.mean() * 4
+
+    def test_stream_walks_sequentially(self):
+        region = Region("s", 0x100_0000, 1024 * 1024, "stream", kind_weights=_DATA,
+                        run_mean=1.0)
+        t = self._single_region_trace(region, n=2000)
+        diffs = np.diff(t.addrs.astype(np.int64))
+        assert np.all(diffs == 64)  # pure sequential walk, no wrap in 2000 accesses
+
+    def test_rotating_changes_active_subset(self):
+        region = Region("r", 0x100_0000, 256 * 1024, "rotating", kind_weights=_DATA,
+                        subsets=4, rotate_dwells=1, run_mean=1.0)
+        t = self._single_region_trace(region, n=40_000)
+        # all four quarters of the region eventually used
+        quarter = 256 * 1024 // 4
+        offsets = (t.addrs - 0x100_0000) // quarter
+        assert set(np.unique(offsets)) == {0, 1, 2, 3}
+
+    def test_run_mean_creates_same_block_runs(self):
+        region = Region("u", 0x100_0000, 1024 * 1024, "uniform", kind_weights=_DATA,
+                        run_mean=8.0)
+        t = self._single_region_trace(region, n=10_000)
+        same = np.mean(t.addrs[1:] == t.addrs[:-1])
+        assert same > 0.6  # most consecutive accesses share a block
+
+
+class TestSuiteProfiles:
+    def test_suite_profile_generates(self):
+        t = generate_trace(app_profile("email"), 10_000, seed=0)
+        assert len(t) == 10_000
+        assert 0.1 < t.kernel_fraction() < 0.8

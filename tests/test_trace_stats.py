@@ -1,0 +1,104 @@
+"""Unit tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from conftest import make_trace
+from repro.trace.stats import (
+    IntervalSummary,
+    footprint_bytes,
+    inter_access_intervals,
+    kernel_access_share,
+    reuse_distances,
+    summarize_intervals,
+    unique_blocks,
+)
+from repro.types import AccessKind, Privilege
+
+L, U, K = AccessKind.LOAD, Privilege.USER, Privilege.KERNEL
+
+
+class TestFootprint:
+    def test_unique_blocks_counts_blocks_not_accesses(self):
+        t = make_trace([(0, 0, L, U), (1, 0, L, U), (2, 64, L, U), (3, 65, L, U)])
+        assert unique_blocks(t) == 2
+
+    def test_footprint_bytes(self):
+        t = make_trace([(0, 0, L, U), (1, 128, L, U)])
+        assert footprint_bytes(t) == 128
+
+    def test_per_privilege(self):
+        t = make_trace([(0, 0, L, U), (1, 0xC000_0000, L, K)])
+        assert unique_blocks(t, Privilege.USER) == 1
+        assert unique_blocks(t, Privilege.KERNEL) == 1
+
+    def test_empty(self):
+        assert unique_blocks(make_trace([])) == 0
+
+
+class TestKernelShare:
+    def test_share(self):
+        t = make_trace([(0, 0, L, U), (1, 0xC000_0000, L, K)])
+        assert kernel_access_share(t) == pytest.approx(0.5)
+
+
+class TestReuseDistances:
+    def test_no_reuse_no_distances(self):
+        t = make_trace([(i, i * 64, L, U) for i in range(5)])
+        assert len(reuse_distances(t)) == 0
+
+    def test_immediate_reuse_distance_zero(self):
+        t = make_trace([(0, 0, L, U), (1, 0, L, U)])
+        assert list(reuse_distances(t)) == [0]
+
+    def test_classic_stack_distance(self):
+        # A B C A: distance of final A is 2 (B and C in between)
+        t = make_trace([(0, 0, L, U), (1, 64, L, U), (2, 128, L, U), (3, 0, L, U)])
+        assert list(reuse_distances(t)) == [2]
+
+    def test_duplicate_intermediate_counts_once(self):
+        # A B B A: stack distance of final A is 1
+        t = make_trace([(0, 0, L, U), (1, 64, L, U), (2, 64, L, U), (3, 0, L, U)])
+        assert list(reuse_distances(t)) == [0, 1]
+
+    def test_max_samples_bounds_work(self):
+        t = make_trace([(i, (i % 3) * 64, L, U) for i in range(100)])
+        d = reuse_distances(t, max_samples=10)
+        assert len(d) <= 10
+
+
+class TestIntervals:
+    def test_gaps_between_same_block(self):
+        t = make_trace([(0, 0, L, U), (5, 0, L, U), (12, 0, L, U)])
+        assert sorted(inter_access_intervals(t)) == [5, 7]
+
+    def test_different_blocks_no_interval(self):
+        t = make_trace([(0, 0, L, U), (5, 64, L, U)])
+        assert len(inter_access_intervals(t)) == 0
+
+    def test_privilege_filter(self):
+        t = make_trace([(0, 0xC000_0000, L, K), (9, 0xC000_0000, L, K), (10, 0, L, U)])
+        assert list(inter_access_intervals(t, Privilege.KERNEL)) == [9]
+        assert len(inter_access_intervals(t, Privilege.USER)) == 0
+
+    def test_empty_trace(self):
+        assert len(inter_access_intervals(make_trace([]))) == 0
+
+
+class TestSummaries:
+    def test_empty_summary(self):
+        s = summarize_intervals(np.array([], dtype=np.int64))
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_summary_fields(self):
+        s = summarize_intervals(np.array([1, 2, 3, 4, 100]))
+        assert s.count == 5
+        assert s.mean == pytest.approx(22.0)
+        assert s.median == 3
+        assert s.max == 100
+        assert s.p90 >= s.median
+
+    def test_row_order(self):
+        s = IntervalSummary(1, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert s.row() == (1, 2.0, 3.0, 4.0, 5.0, 6.0)

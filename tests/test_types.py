@@ -1,0 +1,83 @@
+"""Unit tests for repro.types."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    CACHE_BLOCK_SIZE,
+    KERNEL_SPACE_START,
+    TRACE_DTYPE,
+    AccessKind,
+    Privilege,
+    block_address,
+    is_kernel_address,
+)
+
+
+class TestPrivilege:
+    def test_values_are_stable(self):
+        assert int(Privilege.USER) == 0
+        assert int(Privilege.KERNEL) == 1
+
+    def test_labels(self):
+        assert Privilege.USER.label == "user"
+        assert Privilege.KERNEL.label == "kernel"
+
+    def test_constructible_from_int(self):
+        assert Privilege(1) is Privilege.KERNEL
+
+
+class TestAccessKind:
+    def test_write_kinds(self):
+        assert AccessKind.STORE.is_write
+        assert AccessKind.WRITEBACK.is_write
+
+    def test_read_kinds(self):
+        assert not AccessKind.IFETCH.is_write
+        assert not AccessKind.LOAD.is_write
+
+    def test_values_fit_uint8(self):
+        for kind in AccessKind:
+            assert 0 <= int(kind) < 256
+
+
+class TestTraceDtype:
+    def test_field_names(self):
+        assert TRACE_DTYPE.names == ("tick", "addr", "kind", "priv")
+
+    def test_tick_and_addr_are_64_bit(self):
+        assert TRACE_DTYPE["tick"] == np.uint64
+        assert TRACE_DTYPE["addr"] == np.uint64
+
+
+class TestBlockAddress:
+    def test_aligns_down(self):
+        assert block_address(0x1234) == 0x1234 & ~63
+
+    def test_already_aligned(self):
+        assert block_address(0x40) == 0x40
+
+    def test_custom_block_size(self):
+        assert block_address(0x1234, block_size=128) == 0x1200
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            block_address(0x1234, block_size=96)
+
+    def test_array_input(self):
+        addrs = np.array([0, 63, 64, 65], dtype=np.uint64)
+        out = block_address(addrs)
+        assert list(out) == [0, 0, 64, 64]
+
+
+class TestKernelAddress:
+    def test_boundary(self):
+        assert not is_kernel_address(KERNEL_SPACE_START - 1)
+        assert is_kernel_address(KERNEL_SPACE_START)
+
+    def test_array_input(self):
+        addrs = np.array([0x1000, KERNEL_SPACE_START + 0x1000], dtype=np.uint64)
+        assert list(is_kernel_address(addrs)) == [False, True]
+
+    def test_block_size_constant_is_64(self):
+        assert CACHE_BLOCK_SIZE == 64
