@@ -1,0 +1,56 @@
+"""Engine scaling — sweep throughput at 1 vs N worker processes.
+
+Runs the same (design x app) batch through :func:`repro.engine.run_jobs`
+serially and with a process pool, both with the persistent store
+disabled so every job pays for real simulation.  On a multi-core box the
+pool run should approach ``min(N, cores)`` speedup (each job is an
+independent simulation); on a single core it documents the fan-out
+overhead instead.  Like :mod:`bench_sim_throughput`, wall-clock time is
+the result itself, and ``REPRO_BENCH_LENGTH`` shrinks the traces for a
+faster pass.
+"""
+
+import os
+
+from conftest import run_once
+from repro.engine import JobSpec, run_jobs
+
+DESIGNS = ("baseline", "static-stt")
+APPS = ("browser", "game", "social", "music")
+
+#: Pool width for the parallel measurement (env-overridable).
+N_WORKERS = int(os.environ.get("REPRO_BENCH_ENGINE_WORKERS",
+                               str(min(4, os.cpu_count() or 1))))
+
+
+def _grid(length):
+    # a fraction of the canonical length keeps the serial pass tractable
+    per_job = max(60_000, length // 6)
+    return [JobSpec(d, a, length=per_job) for d in DESIGNS for a in APPS]
+
+
+def _run(specs, jobs):
+    outcomes = run_jobs(specs, jobs=jobs, store=None)
+    assert all(not o.cached for o in outcomes)
+    return sum(o.result.l2_stats.accesses for o in outcomes)
+
+
+def _report(benchmark, specs, label):
+    total_accesses = specs[0].length * len(specs)
+    rate = total_accesses / benchmark.stats["mean"]
+    print(f"\nengine sweep throughput ({label}): "
+          f"{rate / 1e6:.2f} M trace accesses/s over {len(specs)} jobs")
+
+
+def test_engine_scaling_serial(benchmark, bench_length):
+    specs = _grid(bench_length)
+    accesses = run_once(benchmark, _run, specs, 1)
+    assert accesses > 0
+    _report(benchmark, specs, "1 worker")
+
+
+def test_engine_scaling_parallel(benchmark, bench_length):
+    specs = _grid(bench_length)
+    accesses = run_once(benchmark, _run, specs, N_WORKERS)
+    assert accesses > 0
+    _report(benchmark, specs, f"{N_WORKERS} workers")

@@ -1,13 +1,17 @@
 """Benchmark-session configuration.
 
 Each bench regenerates one table or figure of the paper at full
-experiment scale and prints the artifact.  The runner-level caches in
-:mod:`repro.experiments.runner` are shared across the whole pytest
-session, so the (design x app) grid is simulated exactly once no matter
-how many benches read from it.
+experiment scale and prints the artifact.  Two cache layers make that
+cheap: the runner-level memos in :mod:`repro.experiments.runner` share
+the (design x app) grid within one pytest session, and the engine's
+persistent store (:mod:`repro.engine.store`) shares it *across*
+sessions — a second bench run on the same machine replays the grid from
+disk instead of re-simulating it.
 
 Set ``REPRO_BENCH_LENGTH`` to shrink the per-app trace length for a
-faster (less converged) pass.
+faster (less converged) pass.  Set ``REPRO_BENCH_COLD=1`` to disable
+the persistent store for the session, so wall-clock numbers measure
+real simulation instead of store reads.
 """
 
 from __future__ import annotations
@@ -17,6 +21,12 @@ import os
 import pytest
 
 from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH
+
+
+def pytest_configure(config):
+    """Honour ``REPRO_BENCH_COLD`` before any bench touches the store."""
+    if os.environ.get("REPRO_BENCH_COLD"):
+        os.environ["REPRO_CACHE_DISABLE"] = "1"
 
 
 @pytest.fixture(scope="session")

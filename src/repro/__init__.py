@@ -25,7 +25,7 @@ Quickstart::
 from repro.config import DEFAULT_PLATFORM, CacheGeometry, LatencyConfig, PlatformConfig
 from repro.types import CACHE_BLOCK_SIZE, AccessKind, Privilege
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_PLATFORM",

@@ -9,6 +9,10 @@ Commands:
 * ``search`` — the static-partition design-space search.
 * ``validate`` — check the paper's headline claims end to end (exits
   non-zero if a claim band fails, for CI use).
+* ``sweep`` — run a design x app x seed grid through the execution
+  engine (``--jobs N`` for multiprocess fan-out, store-backed).
+* ``cache`` — inspect (``stats``) or empty (``clear``) the persistent
+  result store.
 """
 
 from __future__ import annotations
@@ -19,8 +23,10 @@ import sys
 from repro.cache.hierarchy import l1_filter
 from repro.cache.prefetch import make_prefetcher
 from repro.cache.replacement import POLICY_NAMES
-from repro.config import DEFAULT_PLATFORM
+from repro.config import DEFAULT_PLATFORM, platform_preset
 from repro.core.designs import DESIGN_NAMES, make_design
+from repro.engine import default_store, run_sweep
+from repro.engine.store import ResultStore
 from repro.core.search import find_static_partition
 from repro.dram import DRAMModel
 from repro.energy.technology import RETENTION_CLASSES
@@ -112,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--out", required=True)
     exp_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
 
+    sweep_p = sub.add_parser("sweep", help="run a design x app x seed grid via the engine")
+    sweep_p.add_argument("--designs", nargs="+", choices=DESIGN_NAMES,
+                         default=list(DESIGN_NAMES))
+    sweep_p.add_argument("--apps", nargs="+", choices=APP_NAMES, default=list(APP_NAMES))
+    sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    sweep_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+    sweep_p.add_argument("--platform", choices=("default", "little", "big"),
+                         default="default")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (results are identical for any value)")
+    sweep_p.add_argument("--no-progress", action="store_true",
+                         help="suppress per-job progress lines")
+
+    cache_p = sub.add_parser("cache", help="manage the persistent result store")
+    cache_p.add_argument("action", choices=("stats", "clear"))
+
     return parser
 
 
@@ -185,6 +207,47 @@ def _cmd_validate(length, out) -> int:
     return 0 if all(ok for _, ok, _ in checks) else 1
 
 
+def _cmd_sweep(args, out) -> int:
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    progress = None
+    if not args.no_progress:
+        def progress(event):
+            print(event.render(), file=out)
+    sweep = run_sweep(
+        designs=args.designs,
+        apps=args.apps,
+        seeds=args.seeds,
+        length=args.length,
+        platform=platform_preset(args.platform),
+        jobs=args.jobs,
+        store=default_store(),
+        progress=progress,
+    )
+    print(sweep.render(), file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    store = default_store()
+    if store is None:
+        store = ResultStore()
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ["root", str(stats.root)],
+            ["entries", f"{stats.entries:,}"],
+            ["size", f"{stats.total_bytes / 1024:.1f} KiB"],
+        ]
+        print(format_table("result store", ["field", "value"], rows,
+                           align_left_cols=2), file=out)
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} cached result(s) from {store.root}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -219,6 +282,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return 0
     if args.command == "validate":
         return _cmd_validate(args.length, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     if args.command == "export":
         from repro.experiments.export import export_grid_csv
 

@@ -24,16 +24,21 @@ __all__ = ["DESIGN_NAMES", "make_design", "paper_designs"]
 DESIGN_NAMES = ("baseline", "static-sram", "static-stt", "dynamic-stt")
 
 
-def make_design(name: str):
-    """Instantiate one canonical design by name."""
+def make_design(name: str, **kwargs):
+    """Instantiate one canonical design by name.
+
+    ``kwargs`` are forwarded to the design's constructor (way counts,
+    retention classes, replacement policy, ...), which is how
+    :class:`~repro.engine.spec.JobSpec` describes design variants.
+    """
     if name == "baseline":
-        return BaselineDesign()
+        return BaselineDesign(**kwargs)
     if name == "static-sram":
-        return StaticPartitionDesign(name="static-sram")
+        return StaticPartitionDesign(name="static-sram", **kwargs)
     if name == "static-stt":
-        return multi_retention_design()
+        return multi_retention_design(**kwargs)
     if name == "dynamic-stt":
-        return DynamicPartitionDesign()
+        return DynamicPartitionDesign(**kwargs)
     raise ValueError(f"unknown design {name!r}; choose from {DESIGN_NAMES}")
 
 

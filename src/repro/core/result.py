@@ -27,6 +27,29 @@ class SegmentReport:
     stats: CacheStats
     energy: EnergyBreakdown
 
+    def to_dict(self) -> dict:
+        """Plain-data form for the result store."""
+        return {
+            "name": self.name,
+            "tech_name": self.tech_name,
+            "size_bytes": self.size_bytes,
+            "byte_seconds": self.byte_seconds,
+            "stats": self.stats.to_dict(),
+            "energy": self.energy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SegmentReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            tech_name=data["tech_name"],
+            size_bytes=data["size_bytes"],
+            byte_seconds=data["byte_seconds"],
+            stats=CacheStats.from_dict(data["stats"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+        )
+
 
 @dataclass(frozen=True)
 class DesignResult:
@@ -66,6 +89,44 @@ class DesignResult:
             if seg.name == name:
                 return seg
         raise KeyError(f"design {self.design!r} has no segment {name!r}")
+
+    def to_dict(self) -> dict:
+        """Plain-data form for the result store.
+
+        ``extras`` must already be JSON-shaped (scalars, lists, dicts) —
+        true for every canonical design.  Results carrying live objects
+        (e.g. the banked DRAM model's stats) raise :class:`TypeError`
+        and are simply not persistable.
+        """
+        import json
+
+        try:
+            extras = json.loads(json.dumps(self.extras, allow_nan=False))
+        except (TypeError, ValueError) as exc:
+            raise TypeError(
+                f"result extras of {self.design!r} on {self.app!r} are not "
+                f"JSON-serialisable: {exc}"
+            ) from exc
+        return {
+            "design": self.design,
+            "app": self.app,
+            "segments": [seg.to_dict() for seg in self.segments],
+            "timing": self.timing.to_dict(),
+            "dram_j": self.dram_j,
+            "extras": extras,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            design=data["design"],
+            app=data["app"],
+            segments=tuple(SegmentReport.from_dict(seg) for seg in data["segments"]),
+            timing=TimingResult.from_dict(data["timing"]),
+            dram_j=data["dram_j"],
+            extras=data["extras"],
+        )
 
     def summary_row(self) -> str:
         """One-line human-readable summary."""

@@ -58,6 +58,20 @@ class EnergyBreakdown:
         """Additive identity."""
         return cls(0.0, 0.0, 0.0, 0.0)
 
+    def to_dict(self) -> dict:
+        """Plain-data form for the result store."""
+        return {
+            "leakage_j": self.leakage_j,
+            "read_j": self.read_j,
+            "write_j": self.write_j,
+            "refresh_j": self.refresh_j,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        """Inverse of :meth:`to_dict` (floats round-trip exactly)."""
+        return cls(data["leakage_j"], data["read_j"], data["write_j"], data["refresh_j"])
+
     def normalized_to(self, baseline: "EnergyBreakdown") -> float:
         """This total as a fraction of ``baseline``'s total."""
         if baseline.total_j <= 0:

@@ -1,0 +1,36 @@
+"""Execution engine: parallel, disk-cached simulation of design/app grids.
+
+The engine is the subsystem every experiment funnels through.  It has
+four layers, each a module:
+
+* :mod:`repro.engine.spec` — :class:`JobSpec`, a frozen description of
+  one simulation (design + kwargs, app, length, seed, platform) with a
+  stable content key.
+* :mod:`repro.engine.store` — :class:`ResultStore`, a content-addressed
+  on-disk cache of :class:`~repro.core.result.DesignResult` payloads
+  (atomic writes, corruption-tolerant reads).
+* :mod:`repro.engine.executor` — :func:`run_jobs`, multiprocess fan-out
+  of a batch of specs with store lookup, retry and progress reporting.
+* :mod:`repro.engine.sweep` — :func:`run_sweep`, the design x app x seed
+  grid convenience used by ``repro sweep``.
+
+Results are deterministic regardless of worker count: a job's output
+depends only on its spec, so parallel and serial runs are bit-identical.
+"""
+
+from repro.engine.executor import BatchProgress, JobOutcome, run_jobs
+from repro.engine.spec import EXPERIMENT_TRACE_LENGTH, JobSpec
+from repro.engine.store import ResultStore, default_store
+from repro.engine.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "EXPERIMENT_TRACE_LENGTH",
+    "JobSpec",
+    "ResultStore",
+    "default_store",
+    "BatchProgress",
+    "JobOutcome",
+    "run_jobs",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,193 @@
+"""Multiprocess execution of job batches with store lookup and retry.
+
+:func:`run_jobs` is the engine's front door: it answers a batch of
+:class:`~repro.engine.spec.JobSpec` from the persistent store where it
+can, fans the rest out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+retries each failed job once, persists fresh results, and reports
+progress after every completion.
+
+Determinism: a job's result is a pure function of its spec (trace
+generation, L1 filtering and every design are seeded and deterministic),
+so the outcome of a batch is bit-identical whether it runs on 1 worker,
+N workers, or straight from the store.  Duplicate specs in a batch are
+simulated once and share the result.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Sequence
+
+from repro.cache.hierarchy import L2Stream, l1_filter
+from repro.config import PlatformConfig
+from repro.core.designs import make_design
+from repro.core.result import DesignResult
+from repro.engine.spec import JobSpec
+from repro.engine.store import ResultStore
+from repro.trace.workloads import suite_trace
+
+__all__ = ["JobOutcome", "BatchProgress", "run_jobs", "execute_spec"]
+
+
+@lru_cache(maxsize=16)
+def _worker_stream(app: str, length: int, seed: int, platform: PlatformConfig) -> L2Stream:
+    """Per-process cache of L1-filtered streams.
+
+    Pool workers handle many jobs over their lifetime; jobs sharing an
+    (app, length, seed, platform) tuple pay the L1 filter once per
+    worker instead of once per job.
+    """
+    return l1_filter(suite_trace(app, length, seed), platform)
+
+
+def execute_spec(spec: JobSpec) -> DesignResult:
+    """Simulate one job from scratch (no store involved)."""
+    stream = _worker_stream(spec.app, spec.length, spec.seed, spec.platform)
+    design = make_design(spec.design, **spec.kwargs)
+    return design.run(stream, spec.platform)
+
+
+def _timed_execute(spec: JobSpec) -> tuple[DesignResult, float]:
+    """Pool entry point: run one spec and measure its wall time."""
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """How one spec of a batch was satisfied."""
+
+    spec: JobSpec
+    result: DesignResult
+    cached: bool
+    wall_s: float
+    attempts: int
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """Snapshot passed to the progress callback after each completion."""
+
+    total: int
+    completed: int
+    cached: int
+    running: int
+    last: JobOutcome
+
+    def render(self) -> str:
+        """One status line, e.g. ``[ 7/32] dynamic-stt:game 12.3s (5 cached)``."""
+        source = "store" if self.last.cached else f"{self.last.wall_s:.1f}s"
+        return (
+            f"[{self.completed:>{len(str(self.total))}}/{self.total}] "
+            f"{self.last.spec.label()} {source} ({self.cached} cached, "
+            f"{self.running} running)"
+        )
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: Callable[[BatchProgress], None] | None = None,
+    retries: int = 1,
+) -> list[JobOutcome]:
+    """Execute a batch of specs, returning outcomes in input order.
+
+    Args:
+        specs: Jobs to satisfy (duplicates are computed once).
+        jobs: Worker processes; 1 runs everything in-process.
+        store: Persistent store consulted before and updated after each
+            simulation; None disables persistence.
+        progress: Called after every job completes (cached jobs first).
+        retries: Extra attempts per failed job (transient failures —
+            e.g. a worker killed by the OOM reaper — get one more shot
+            by default).  The last failure propagates.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    outcomes: list[JobOutcome | None] = [None] * len(specs)
+    total = len(specs)
+    cached_count = 0
+    completed = 0
+
+    # Serve what the store already has, and dedupe the rest by key.
+    fresh: dict[str, list[int]] = {}
+    for i, spec in enumerate(specs):
+        result = store.get(spec) if store is not None else None
+        if result is not None:
+            outcomes[i] = JobOutcome(spec, result, cached=True, wall_s=0.0, attempts=0)
+            cached_count += 1
+        else:
+            fresh.setdefault(spec.content_key, []).append(i)
+    pending = len(fresh)
+    for outcome in outcomes:
+        if outcome is not None:
+            completed += 1
+            if progress is not None:
+                progress(BatchProgress(total, completed, cached_count, pending, outcome))
+
+    def finish(indices: list[int], result: DesignResult, wall_s: float, attempts: int) -> None:
+        nonlocal completed
+        if store is not None:
+            store.put(specs[indices[0]], result)
+        for i in indices:
+            outcomes[i] = JobOutcome(specs[i], result, cached=False,
+                                     wall_s=wall_s, attempts=attempts)
+        completed += len(indices)
+
+    if jobs == 1 or pending <= 1:
+        remaining = pending
+        for indices in fresh.values():
+            result, wall_s, attempts = _run_with_retry(_timed_execute, specs[indices[0]], retries)
+            finish(indices, result, wall_s, attempts)
+            remaining -= 1
+            if progress is not None:
+                progress(BatchProgress(total, completed, cached_count,
+                                       remaining, outcomes[indices[0]]))
+        return [o for o in outcomes if o is not None]
+
+    with ProcessPoolExecutor(max_workers=min(jobs, pending)) as pool:
+        attempts_left = {key: 1 + retries for key in fresh}
+        attempt_no = {key: 0 for key in fresh}
+        futures = {}
+        for key, indices in fresh.items():
+            attempt_no[key] += 1
+            futures[pool.submit(_timed_execute, specs[indices[0]])] = key
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                key = futures.pop(future)
+                indices = fresh[key]
+                try:
+                    result, wall_s = future.result()
+                except Exception:
+                    attempts_left[key] -= 1
+                    if attempts_left[key] <= 0:
+                        for other in futures:
+                            other.cancel()
+                        raise
+                    attempt_no[key] += 1
+                    futures[pool.submit(_timed_execute, specs[indices[0]])] = key
+                    continue
+                finish(indices, result, wall_s, attempt_no[key])
+                if progress is not None:
+                    progress(BatchProgress(total, completed, cached_count,
+                                           len(futures), outcomes[indices[0]]))
+    return [o for o in outcomes if o is not None]
+
+
+def _run_with_retry(fn, spec: JobSpec, retries: int):
+    """In-process execute with the same retry budget as the pool path."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result, wall_s = fn(spec)
+            return result, wall_s, attempts
+        except Exception:
+            if attempts > retries:
+                raise

@@ -1,0 +1,146 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout under the store root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``)::
+
+    results/<key[:2]>/<key>.json
+
+Each entry is a versioned JSON document carrying the spec payload it was
+keyed from (for ``repro cache stats`` introspection) and the serialised
+:class:`~repro.core.result.DesignResult`.  Writes are atomic (tempfile +
+``os.replace``) so a crashed or concurrent writer can never publish a
+half-written entry; reads treat *any* undecodable entry as a miss and
+delete it, so a corrupt cache degrades to re-simulation, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.result import DesignResult
+from repro.engine.spec import SCHEMA_VERSION, JobSpec, canonical_json
+
+__all__ = ["ResultStore", "StoreStats", "default_store", "default_cache_dir"]
+
+#: Environment variable overriding the store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Set to a non-empty value to disable the persistent store entirely
+#: (``default_store`` then returns None; simulations always run fresh).
+CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+
+
+def default_cache_dir() -> Path:
+    """Store root honouring ``$REPRO_CACHE_DIR``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def default_store() -> "ResultStore | None":
+    """The process-default store, or None when caching is disabled."""
+    if os.environ.get(CACHE_DISABLE_ENV):
+        return None
+    return ResultStore(default_cache_dir())
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Summary of a store's on-disk contents."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+
+
+class ResultStore:
+    """Persistent ``JobSpec -> DesignResult`` mapping on disk."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def results_dir(self) -> Path:
+        """Directory holding the fanned-out entry files."""
+        return self.root / "results"
+
+    def _entry_path(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def get(self, spec: JobSpec) -> DesignResult | None:
+        """Stored result for ``spec``, or None on miss.
+
+        A present-but-unreadable entry (truncated write from a killed
+        process, disk corruption, an old schema) is removed and reported
+        as a miss.
+        """
+        path = self._entry_path(spec.content_key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']} != {SCHEMA_VERSION}")
+            return DesignResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self._discard(path)
+            return None
+
+    def put(self, spec: JobSpec, result: DesignResult) -> Path:
+        """Persist ``result`` under ``spec``'s content key, atomically."""
+        path = self._entry_path(spec.content_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": spec.content_key,
+            "spec": spec.describe(),
+            "result": result.to_dict(),
+        }
+        blob = canonical_json(payload)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+        return path
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return self._entry_path(spec.content_key).is_file()
+
+    def stats(self) -> StoreStats:
+        """Entry count and total size of the store."""
+        entries = 0
+        total = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*/*.json"):
+                entries += 1
+                total += path.stat().st_size
+        return StoreStats(root=self.root, entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*/*.json"):
+                self._discard(path)
+                removed += 1
+            for sub in self.results_dir.iterdir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH, canonical_result
+from repro.experiments.runner import EXPERIMENT_TRACE_LENGTH, suite_results
 from repro.trace.workloads import APP_NAMES
 
 __all__ = ["SeedRobustnessResult", "seed_robustness"]
@@ -62,11 +62,12 @@ def seed_robustness(
     """Measure the headline under each seed."""
     static_savings, dynamic_savings, static_losses, dynamic_losses = [], [], [], []
     for seed in seeds:
+        bases = suite_results("baseline", length, apps, seed=seed)
+        statics = suite_results("static-stt", length, apps, seed=seed)
+        dynamics = suite_results("dynamic-stt", length, apps, seed=seed)
         s_energy, d_energy, s_loss, d_loss = [], [], [], []
         for app in apps:
-            base = canonical_result("baseline", app, length, seed)
-            static = canonical_result("static-stt", app, length, seed)
-            dynamic = canonical_result("dynamic-stt", app, length, seed)
+            base, static, dynamic = bases[app], statics[app], dynamics[app]
             s_energy.append(static.l2_energy.total_j / base.l2_energy.total_j)
             d_energy.append(dynamic.l2_energy.total_j / base.l2_energy.total_j)
             s_loss.append(static.timing.perf_loss_vs(base.timing))

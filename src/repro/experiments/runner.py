@@ -1,9 +1,11 @@
 """Cached execution of the canonical designs over the workload suite.
 
-Every figure and table draws on the same grid of runs — (design x app) at
-the experiment trace length — so the runner memoises L1-filtered streams
-and design results per process.  Running all benchmarks in one pytest
-session therefore pays for each simulation exactly once.
+Every figure and table draws on the same grid of runs — (design x app)
+at the experiment trace length.  Since the engine landed this module is
+a thin shim over :mod:`repro.engine`: results come from the persistent
+on-disk store when available (so a fresh process no longer re-pays the
+grid), fall back to simulation otherwise, and are additionally memoised
+per process so repeated reads within one pytest/bench session are free.
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ from repro.cache.hierarchy import L2Stream, l1_filter
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.core.designs import DESIGN_NAMES, make_design
 from repro.core.result import DesignResult
+from repro.engine.spec import EXPERIMENT_TRACE_LENGTH, JobSpec
+from repro.engine.store import default_store
 from repro.trace.workloads import APP_NAMES, suite_trace
 
 __all__ = [
@@ -21,12 +25,8 @@ __all__ = [
     "experiment_stream",
     "canonical_result",
     "suite_results",
+    "run_design_on",
 ]
-
-#: Accesses per app trace in the canonical experiments.  Long enough to
-#: amortise L2 cold-start (each warm block is touched ~15+ times at the
-#: L2) while keeping a full 8-app x 4-design grid under two minutes.
-EXPERIMENT_TRACE_LENGTH = 720_000
 
 
 @lru_cache(maxsize=64)
@@ -34,9 +34,10 @@ def experiment_stream(
     app: str,
     length: int = EXPERIMENT_TRACE_LENGTH,
     seed: int = 0,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
 ) -> L2Stream:
-    """L1-filtered L2 stream for ``app`` on the default platform (cached)."""
-    return l1_filter(suite_trace(app, length, seed), DEFAULT_PLATFORM)
+    """L1-filtered L2 stream for ``app`` on ``platform`` (cached)."""
+    return l1_filter(suite_trace(app, length, seed), platform)
 
 
 @lru_cache(maxsize=256)
@@ -45,21 +46,37 @@ def canonical_result(
     app: str,
     length: int = EXPERIMENT_TRACE_LENGTH,
     seed: int = 0,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
 ) -> DesignResult:
-    """Run one canonical design on one app (cached per process)."""
+    """Run one canonical design on one app (store-backed, memoised).
+
+    The persistent store is consulted first (keyed by the full
+    :class:`~repro.engine.spec.JobSpec`, so seeds and platforms never
+    collide); a fresh simulation is written back for the next process.
+    """
     if design_name not in DESIGN_NAMES:
         raise ValueError(f"unknown design {design_name!r}; choose from {DESIGN_NAMES}")
+    spec = JobSpec(design=design_name, app=app, length=length, seed=seed, platform=platform)
+    store = default_store()
+    if store is not None:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
     design = make_design(design_name)
-    return design.run(experiment_stream(app, length, seed), DEFAULT_PLATFORM)
+    result = design.run(experiment_stream(app, length, seed, platform), platform)
+    if store is not None:
+        store.put(spec, result)
+    return result
 
 
 def suite_results(
     design_name: str,
     length: int = EXPERIMENT_TRACE_LENGTH,
     apps: tuple[str, ...] = APP_NAMES,
+    seed: int = 0,
 ) -> dict[str, DesignResult]:
     """One result per app for ``design_name``, in suite order."""
-    return {app: canonical_result(design_name, app, length) for app in apps}
+    return {app: canonical_result(design_name, app, length, seed) for app in apps}
 
 
 def run_design_on(
@@ -67,6 +84,11 @@ def run_design_on(
     app: str,
     platform: PlatformConfig = DEFAULT_PLATFORM,
     length: int = EXPERIMENT_TRACE_LENGTH,
+    seed: int = 0,
 ) -> DesignResult:
-    """Run an arbitrary (non-canonical) design instance on one app."""
-    return design.run(experiment_stream(app, length), platform)
+    """Run an arbitrary (non-canonical) design instance on one app.
+
+    The stream is filtered through ``platform``'s L1s — a non-default
+    platform really sees its own L1 behaviour, not the default one's.
+    """
+    return design.run(experiment_stream(app, length, seed, platform), platform)

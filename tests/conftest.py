@@ -7,6 +7,8 @@ are the only ones that touch experiment-scale traces.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,22 @@ from repro.trace.access import Trace
 from repro.trace.generator import generate_trace
 from repro.trace.workloads import app_profile
 from repro.types import TRACE_DTYPE, AccessKind, Privilege
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the engine's persistent store at a session-private dir.
+
+    Tests still exercise the real store code path, but never read stale
+    entries from (or leak entries into) the developer's ``~/.cache``.
+    """
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-store"))
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = saved
 
 
 def make_trace(entries, name="t", instructions=None) -> Trace:

@@ -114,3 +114,53 @@ class TestExport:
         assert code == 0
         assert "32 rows" in out
         assert out_file.exists()
+
+
+class TestSweep:
+    def test_cold_then_warm(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ("sweep", "--designs", "baseline", "--apps", "browser", "game",
+                "--length", "8000", "--no-progress")
+        code, cold = run_cli(*argv)
+        assert code == 0
+        assert "0/2 jobs served from cache" in cold
+        code, warm = run_cli(*argv)
+        assert code == 0
+        assert "2/2 jobs served from cache (100.0%)" in warm
+
+    def test_parallel_matches_serial_output(self, tmp_path, monkeypatch):
+        import re
+
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        argv = ("sweep", "--designs", "static-sram", "--apps", "music",
+                "--length", "8000", "--no-progress")
+        _, serial = run_cli(*argv)
+        _, parallel = run_cli(*argv, "--jobs", "2")
+
+        def strip_walltimes(text):
+            return re.sub(r"\d+\.\d+s", "Xs", text)
+
+        assert strip_walltimes(serial) == strip_walltimes(parallel)
+
+    def test_progress_lines(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, out = run_cli("sweep", "--designs", "baseline", "--apps", "reader",
+                            "--length", "8000")
+        assert code == 0
+        assert "[1/1] baseline:reader" in out
+
+
+class TestCache:
+    def test_stats_and_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_cli("sweep", "--designs", "baseline", "--apps", "video",
+                "--length", "8000", "--no-progress")
+        code, out = run_cli("cache", "stats")
+        assert code == 0
+        assert str(tmp_path) in out
+        assert "entries" in out
+        code, out = run_cli("cache", "clear")
+        assert code == 0
+        assert "removed 1 cached result(s)" in out
+        _, out = run_cli("cache", "stats")
+        assert "0" in out

@@ -1,0 +1,71 @@
+"""Tests for the engine's job specifications and content keys."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM, platform_preset
+from repro.engine.spec import (
+    EXPERIMENT_TRACE_LENGTH,
+    JobSpec,
+    canonical_json,
+    platform_fingerprint,
+)
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = JobSpec("baseline", "browser")
+        assert spec.length == EXPERIMENT_TRACE_LENGTH
+        assert spec.seed == 0
+        assert spec.platform is DEFAULT_PLATFORM
+        assert spec.design_kwargs == ()
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            JobSpec("frobnicate", "browser")
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            JobSpec("baseline", "browser", length=0)
+
+    def test_kwargs_dict_normalised_and_hashable(self):
+        a = JobSpec("static-stt", "game", design_kwargs={"user_ways": 6, "kernel_ways": 2})
+        b = JobSpec("static-stt", "game", design_kwargs={"kernel_ways": 2, "user_ways": 6})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.kwargs == {"user_ways": 6, "kernel_ways": 2}
+
+    def test_non_scalar_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            JobSpec("baseline", "browser", design_kwargs={"geometry": [1, 2]})
+
+    def test_label(self):
+        spec = JobSpec("dynamic-stt", "maps", seed=3, design_kwargs={"policy": "fifo"})
+        assert spec.label() == "dynamic-stt:maps:s3:policy=fifo"
+
+
+class TestContentKey:
+    def test_stable_across_instances(self):
+        a = JobSpec("baseline", "browser", length=1000)
+        b = JobSpec("baseline", "browser", length=1000)
+        assert a.content_key == b.content_key
+
+    def test_every_field_is_load_bearing(self):
+        base = JobSpec("baseline", "browser", length=1000, seed=0)
+        variants = [
+            JobSpec("static-stt", "browser", length=1000, seed=0),
+            JobSpec("baseline", "game", length=1000, seed=0),
+            JobSpec("baseline", "browser", length=2000, seed=0),
+            JobSpec("baseline", "browser", length=1000, seed=1),
+            JobSpec("baseline", "browser", length=1000, platform=platform_preset("little")),
+            JobSpec("baseline", "browser", length=1000, design_kwargs={"policy": "fifo"}),
+        ]
+        keys = {base.content_key} | {v.content_key for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_platform_fingerprint_sees_every_knob(self):
+        assert platform_fingerprint(DEFAULT_PLATFORM) != platform_fingerprint(
+            platform_preset("big")
+        )
+
+    def test_canonical_json_is_order_free(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
