@@ -7,9 +7,13 @@ Public surface:
 * :func:`l1_filter` / :class:`L2Stream` — split-L1 front end.
 * :class:`CacheStats` — counters and derived rates.
 * :func:`make_policy` and the policy classes — replacement policies.
+* :func:`simulate_trace` / :func:`fastsim_supports` — the vectorized
+  fast-path kernel (see ``docs/performance.md``).
 """
 
 from repro.cache.analysis import SetPressure, occupancy_by_way, set_pressure
+from repro.cache.fastsim import simulate_trace
+from repro.cache.fastsim import supports_cache as fastsim_supports
 from repro.cache.hierarchy import L2Stream, l1_filter
 from repro.cache.partitioned import PartitionedCache
 from repro.cache.prefetch import (
@@ -56,4 +60,6 @@ __all__ = [
     "AccessResult",
     "SetAssociativeCache",
     "CacheStats",
+    "simulate_trace",
+    "fastsim_supports",
 ]

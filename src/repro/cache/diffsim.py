@@ -1,0 +1,160 @@
+"""Randomized differential verification of fastsim against the reference.
+
+The fast kernel (:mod:`repro.cache.fastsim`) is trusted *by construction*:
+every release must show exact :class:`~repro.cache.stats.CacheStats`
+equality with :class:`~repro.cache.set_assoc.SetAssociativeCache` over a
+randomized family of trace × geometry × retention configurations.  This
+module is that harness — ``tests/test_fastsim.py`` drives it across a
+seed range, and it is importable for ad-hoc bisection::
+
+    from repro.cache.diffsim import sample_case, run_case
+    ref, fast = run_case(sample_case(seed=7))
+    assert ref.to_dict() == fast.to_dict()
+
+Workloads are deliberately adversarial for the envelope: sub-block
+address offsets, skewed set pressure, both privilege levels, write-back
+(non-demand) rows, and — for the retention cases — tick gaps sampled
+around the retention window so expiry invalidations, expired-frame
+reclaims and finalize-time drains all fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.fastsim import simulate_trace
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.config import CacheGeometry
+
+__all__ = ["DiffCase", "sample_case", "run_case", "assert_case_equal"]
+
+
+@dataclass(frozen=True)
+class DiffCase:
+    """One randomized configuration of the differential harness."""
+
+    seed: int
+    sets: int
+    ways: int
+    block_size: int
+    refresh_mode: str           # "none" or "invalidate"
+    retention_ticks: int | None
+    length: int
+    addr_blocks: int            # footprint, in distinct block addresses
+    max_gap: int                # upper bound of inter-access tick gaps
+    write_frac: float
+    kernel_frac: float
+    wb_frac: float              # fraction of rows marked non-demand
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry(
+            self.sets * self.ways * self.block_size, self.ways, self.block_size
+        )
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} {self.sets}x{self.ways}w/{self.block_size}B "
+            f"{self.refresh_mode}"
+            + (f"(ret={self.retention_ticks})" if self.retention_ticks else "")
+            + f" n={self.length} blocks={self.addr_blocks} gap<={self.max_gap}"
+        )
+
+
+def sample_case(seed: int) -> DiffCase:
+    """Draw one configuration; even seeds are retention-free, odd seeds
+    use invalidate-on-expiry, so any seed range covers both modes."""
+    rng = np.random.default_rng(seed)
+    sets = int(rng.choice([1, 2, 4, 16, 64]))
+    ways = int(rng.choice([1, 2, 3, 4, 8, 16]))
+    block_size = int(rng.choice([32, 64, 128]))
+    refresh_mode = "invalidate" if seed % 2 else "none"
+    retention_ticks = int(rng.integers(20, 2_000)) if refresh_mode == "invalidate" else None
+    capacity_blocks = sets * ways
+    footprint = max(1, int(capacity_blocks * float(rng.choice([0.5, 1.0, 2.0, 4.0]))))
+    if retention_ticks is not None:
+        # Gaps straddling the window make expiry outcomes order-sensitive.
+        max_gap = max(2, int(retention_ticks * float(rng.choice([0.05, 0.4, 1.5]))))
+    else:
+        max_gap = int(rng.choice([1, 4, 60]))
+    return DiffCase(
+        seed=seed,
+        sets=sets,
+        ways=ways,
+        block_size=block_size,
+        refresh_mode=refresh_mode,
+        retention_ticks=retention_ticks,
+        length=int(rng.integers(1_500, 4_000)),
+        addr_blocks=footprint,
+        max_gap=max_gap,
+        write_frac=float(rng.uniform(0.05, 0.6)),
+        kernel_frac=float(rng.uniform(0.1, 0.7)),
+        wb_frac=float(rng.uniform(0.0, 0.25)),
+    )
+
+
+def _workload(case: DiffCase):
+    """Generate the access columns of one case (deterministic per seed)."""
+    rng = np.random.default_rng(case.seed ^ 0xFA57)
+    n = case.length
+    blocks = rng.integers(0, case.addr_blocks, size=n).astype(np.uint64)
+    offsets = rng.integers(0, case.block_size, size=n).astype(np.uint64)
+    addrs = blocks * np.uint64(case.block_size) + offsets
+    ticks = np.cumsum(rng.integers(0, case.max_gap + 1, size=n)).astype(np.int64)
+    writes = rng.random(n) < case.write_frac
+    privs = (rng.random(n) < case.kernel_frac).astype(np.uint8)
+    demand = rng.random(n) >= case.wb_frac
+    final_tick = int(ticks[-1]) + case.max_gap + 1
+    return ticks, addrs, privs, writes, demand, final_tick
+
+
+def run_case(case: DiffCase) -> tuple[CacheStats, CacheStats]:
+    """Run one case through both engines; returns (reference, fast) stats."""
+    ticks, addrs, privs, writes, demand, final_tick = _workload(case)
+
+    cache = SetAssociativeCache(
+        case.geometry,
+        "lru",
+        retention_ticks=case.retention_ticks,
+        refresh_mode=case.refresh_mode,
+        name="diff-ref",
+    )
+    access = cache.access
+    for tick, addr, priv, isw, dm in zip(
+        ticks.tolist(), addrs.tolist(), privs.tolist(), writes.tolist(), demand.tolist()
+    ):
+        access(addr, isw, priv, tick, dm)
+    cache.finalize(final_tick)
+    cache.stats.check_invariants()
+
+    fast_stats, _ = simulate_trace(
+        case.geometry,
+        ticks,
+        addrs,
+        privs,
+        writes,
+        demand,
+        retention_ticks=case.retention_ticks,
+        refresh_mode=case.refresh_mode,
+        finalize_tick=final_tick,
+    )
+    return cache.stats, fast_stats
+
+
+def assert_case_equal(case: DiffCase) -> None:
+    """Raise ``AssertionError`` with a field-level diff on any mismatch."""
+    ref, fast = run_case(case)
+    ref_d, fast_d = ref.to_dict(), fast.to_dict()
+    if ref_d != fast_d:
+        mismatches = [
+            f"  {key}: reference={ref_d[key]!r} fast={fast_d[key]!r}"
+            for key in ref_d
+            if ref_d[key] != fast_d[key]
+        ]
+        raise AssertionError(
+            "fastsim diverged from the reference engine on "
+            + case.describe() + "\n" + "\n".join(mismatches)
+        )

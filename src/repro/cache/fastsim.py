@@ -1,0 +1,598 @@
+"""Vectorized fast-path simulation kernel for LRU set-associative caches.
+
+The reference engine (:class:`repro.cache.set_assoc.SetAssociativeCache`)
+pays per-access Python overhead — an ``Entry`` object per block, a
+replacement-policy virtual call per access, an ``AccessResult`` per call —
+which bounds every experiment at single-digit M-accesses/s.  This module
+replays an *entire trace at once* instead:
+
+1. NumPy decomposes all addresses into (set, tag) columns and groups the
+   trace by set (one stable argsort); every scalar counter that does not
+   depend on hit/miss outcomes (access totals, privilege and write splits)
+   is reduced vectorially.
+2. Each set is then replayed by a tight loop over packed parallel arrays
+   (tag / privilege / dirty / last-refresh, plus an integer LRU recency
+   sequence) — no objects, no dispatch, no per-access allocation.
+
+The kernel is **bit-identical** to the reference engine inside its
+supported envelope (checked by :func:`supports_cache`):
+
+* true-LRU replacement,
+* fixed geometry: no way resizing, no power gating, no drowsy mode,
+* retention ``none``, or ``invalidate`` with the fixed-window model.
+
+Everything outside the envelope — ``rewrite`` refresh, exponential
+retention lifetimes, gated ways, non-LRU policies, and any replay that
+needs per-access interleaving (bank-level DRAM, prefetching) — falls back
+to the reference engine.  ``tests/test_fastsim.py`` holds the randomized
+differential harness (:mod:`repro.cache.diffsim`) that proves the exact
+:class:`~repro.cache.stats.CacheStats` equality this module promises.
+
+Set ``REPRO_FASTSIM=0`` to disable the fast path globally (every replay
+then uses the reference engine, useful when bisecting a discrepancy).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cache.replacement import LRUPolicy
+from repro.cache.stats import CacheStats
+from repro.config import CacheGeometry, PlatformConfig
+from repro.types import AccessKind, Privilege
+
+__all__ = [
+    "enabled",
+    "supports_cache",
+    "simulate_trace",
+    "MissEvents",
+    "fast_l1_filter",
+    "try_run_fixed",
+]
+
+#: Refresh modes the kernel reproduces exactly.
+SUPPORTED_REFRESH_MODES = ("none", "invalidate")
+
+
+def enabled() -> bool:
+    """True unless the ``REPRO_FASTSIM`` environment variable disables us."""
+    return os.environ.get("REPRO_FASTSIM", "1").strip().lower() not in ("0", "false", "off")
+
+
+def supports_cache(cache) -> bool:
+    """True when ``cache`` (a fresh ``SetAssociativeCache``) is inside the
+    kernel's exact-equivalence envelope.
+
+    The cache must be untouched (no accesses, no resident blocks): the
+    kernel replays from a cold array, so a warm reference cache cannot be
+    taken over mid-run.
+    """
+    return (
+        type(cache.policy) is LRUPolicy
+        and cache.refresh_mode in SUPPORTED_REFRESH_MODES
+        and cache.retention_distribution == "fixed"
+        and cache.drowsy_window is None
+        and cache.powered_ways == cache.ways
+        and cache.ways == cache.geometry.associativity
+        and cache.stats.accesses == 0
+        and all(not tagmap for tagmap in cache._tagmaps)
+    )
+
+
+@dataclass
+class MissEvents:
+    """Per-miss side channel of one :func:`simulate_trace` run.
+
+    ``miss_idx`` lists the caller-supplied index of every missing access
+    (in replay order); ``wb_idx``/``wb_addr``/``wb_priv`` describe the
+    dirty LRU victim written back by the miss at the same index.  The L1
+    filter turns these into the demand/write-back rows of an
+    :class:`~repro.cache.hierarchy.L2Stream`.
+    """
+
+    miss_idx: list
+    wb_idx: list
+    wb_addr: np.ndarray
+    wb_priv: list
+
+
+def simulate_trace(
+    geometry: CacheGeometry,
+    ticks,
+    addrs,
+    privs,
+    writes,
+    demand=None,
+    *,
+    retention_ticks: int | None = None,
+    refresh_mode: str = "none",
+    finalize_tick: int | None = None,
+    record_events: bool = False,
+    orig_indices: np.ndarray | None = None,
+) -> tuple[CacheStats, MissEvents | None]:
+    """Replay one access stream through an array-backed LRU cache.
+
+    Args:
+        geometry: Cache geometry (fixed for the whole run).
+        ticks, addrs, privs, writes: Parallel access columns (any
+            array-likes; addresses may carry sub-block offsets).
+        demand: Optional demand-fetch mask; ``None`` means every access
+            is a demand access (the L1 case).
+        retention_ticks: Fixed retention window, or ``None``.
+        refresh_mode: ``"none"`` or ``"invalidate"`` (the envelope).
+        finalize_tick: When given, settle end-of-simulation accounting at
+            this tick exactly like ``SetAssociativeCache.finalize`` (the
+            expiry write-backs of dirty blocks that decayed unobserved).
+        record_events: Collect a :class:`MissEvents` side channel.
+        orig_indices: Caller-space index of each access, recorded in the
+            events (defaults to 0..n-1).
+
+    Returns:
+        ``(stats, events)`` — ``stats`` is bit-identical to the reference
+        engine's counters; ``events`` is ``None`` unless requested.
+    """
+    if refresh_mode not in SUPPORTED_REFRESH_MODES:
+        raise ValueError(
+            f"fastsim supports refresh modes {SUPPORTED_REFRESH_MODES}, got {refresh_mode!r}"
+        )
+    if refresh_mode == "invalidate" and retention_ticks is None:
+        raise ValueError("refresh_mode 'invalidate' needs a finite retention_ticks")
+
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    n = len(addrs)
+    stats = CacheStats()
+    events = MissEvents([], [], np.zeros(0, dtype=np.uint64), []) if record_events else None
+    if n == 0:
+        return stats, events
+
+    block_bits = geometry.block_size.bit_length() - 1
+    num_sets = geometry.num_sets
+    set_bits = num_sets.bit_length() - 1
+    ways = geometry.associativity
+
+    privs = np.asarray(privs)
+    writes = np.asarray(writes)
+    if int(privs.max()) > 1:
+        # Fail as loudly as the reference engine's accesses_by_priv[priv].
+        raise ValueError(
+            f"privilege values must be 0 (user) or 1 (kernel), got {int(privs.max())}"
+        )
+    kernel_accesses = int(np.count_nonzero(privs))
+    write_accesses = int(np.count_nonzero(writes))
+    demand_accesses = n if demand is None else int(np.count_nonzero(np.asarray(demand)))
+
+    blocks = addrs >> np.uint64(block_bits)
+    set_idx = (blocks & np.uint64(num_sets - 1)).astype(np.int64)
+    tags = blocks >> np.uint64(set_bits)
+
+    order = np.argsort(set_idx, kind="stable")
+    starts = np.zeros(num_sets + 1, dtype=np.int64)
+    np.cumsum(np.bincount(set_idx, minlength=num_sets), out=starts[1:])
+    active_sets = np.nonzero(starts[1:] > starts[:-1])[0].tolist()
+    starts = starts.tolist()
+
+    # Bulk-convert the sorted columns to plain Python values once; the
+    # per-set loops below then run on C-backed lists, not numpy scalars.
+    # Columns a given replay variant never reads are not converted.
+    s_tags = tags[order].tolist()
+    s_privs = privs[order].tolist()
+    s_writes = writes[order].tolist()
+    if demand is None:
+        s_demand = None
+    else:
+        s_demand = np.asarray(demand)[order].tolist()
+    if record_events:
+        if orig_indices is None:
+            s_orig = order.tolist()
+        else:
+            s_orig = np.asarray(orig_indices)[order].tolist()
+    else:
+        s_orig = None
+
+    if refresh_mode == "none":
+        if events is None and s_demand is None:
+            counters = _replay_sets_simple(
+                ways, active_sets, starts, s_tags, s_privs, s_writes,
+            )
+            wb_set: list = []
+            wb_tag: list = []
+        else:
+            counters, wb_set, wb_tag = _replay_sets(
+                ways, active_sets, starts, s_tags, s_privs, s_writes,
+                s_demand, s_orig, events,
+            )
+    else:
+        s_ticks = np.asarray(ticks)[order].tolist()
+        counters, wb_set, wb_tag = _replay_sets_retention(
+            ways, active_sets, starts, s_ticks, s_tags, s_privs, s_writes,
+            s_demand, s_orig, events, retention_ticks, finalize_tick,
+        )
+    (misses, kernel_misses, demand_misses, evictions, writebacks,
+     expiry_invalidations, expiry_writebacks, ec00, ec01, ec10, ec11) = counters
+
+    if events is not None and wb_tag:
+        events.wb_addr = (
+            (np.asarray(wb_tag, dtype=np.uint64) << np.uint64(set_bits)
+             | np.asarray(wb_set, dtype=np.uint64))
+            << np.uint64(block_bits)
+        )
+
+    stats.accesses = n
+    stats.hits = n - misses
+    stats.misses = misses
+    stats.fills = misses
+    stats.evictions = evictions
+    stats.writebacks = writebacks
+    stats.expiry_invalidations = expiry_invalidations
+    stats.expiry_writebacks = expiry_writebacks
+    stats.demand_accesses = demand_accesses
+    stats.demand_misses = misses if demand is None else demand_misses
+    stats.write_accesses = write_accesses
+    stats.accesses_by_priv = [n - kernel_accesses, kernel_accesses]
+    stats.misses_by_priv = [misses - kernel_misses, kernel_misses]
+    stats.evictions_cross = [[ec00, ec01], [ec10, ec11]]
+    return stats, events
+
+
+def _replay_sets_simple(ways, active_sets, starts, TG, PV, WR):
+    """Hottest replay variant: no retention, no demand column, no event
+    recording.  Kept separate from :func:`_replay_sets` so the inner loop
+    unpacks three columns and carries zero per-access branches for
+    features the caller did not ask for.
+
+    LRU state is a move-to-back way list (front = least recent).  Recency
+    sequences are unique and strictly increasing, so the list stays in
+    exact ascending-sequence order and popping the front selects the same
+    victim as the reference ``LRUPolicy.victim`` first-strict-minimum
+    scan; sets fill in way order exactly like the reference free-frame
+    scan."""
+    misses = kernel_misses = 0
+    evictions = writebacks = 0
+    # evictions_cross flattened: index = (victim_priv << 1) | aggressor_priv
+    ec = [0, 0, 0, 0]
+    for s in active_sets:
+        lo, hi = starts[s], starts[s + 1]
+        tagmap: dict = {}
+        mget = tagmap.get
+        tagw: list = []
+        privw: list = []
+        dirty: list = []
+        lru: list = []
+        lru_remove = lru.remove
+        lru_append = lru.append
+        lru_pop = lru.pop
+        filled = 0
+        for tag, priv, isw in zip(TG[lo:hi], PV[lo:hi], WR[lo:hi]):
+            w = mget(tag)
+            if w is not None:
+                lru_remove(w)
+                lru_append(w)
+                if isw:
+                    dirty[w] = True
+                continue
+            misses += 1
+            if priv:
+                kernel_misses += 1
+            if filled < ways:
+                tagmap[tag] = filled
+                tagw.append(tag)
+                privw.append(priv)
+                dirty.append(isw)
+                lru_append(filled)
+                filled += 1
+            else:
+                w = lru_pop(0)
+                lru_append(w)
+                evictions += 1
+                ec[(privw[w] << 1) | priv] += 1
+                if dirty[w]:
+                    writebacks += 1
+                del tagmap[tagw[w]]
+                tagmap[tag] = w
+                tagw[w] = tag
+                privw[w] = priv
+                dirty[w] = isw
+    return (misses, kernel_misses, 0, evictions, writebacks,
+            0, 0, ec[0], ec[1], ec[2], ec[3])
+
+
+def _replay_sets(ways, active_sets, starts, TG, PV, WR, DM, OR, events):
+    """General no-retention replay: like :func:`_replay_sets_simple`
+    (same move-to-back LRU list) but tracking the demand column and/or
+    recording per-miss events."""
+    misses = kernel_misses = demand_misses = 0
+    evictions = writebacks = 0
+    ec = [0, 0, 0, 0]
+    track_dm = DM is not None
+    record = events is not None
+    wb_set: list = []
+    wb_tag: list = []
+    if record:
+        miss_idx = events.miss_idx
+        wb_idx = events.wb_idx
+        wb_priv = events.wb_priv
+    for s in active_sets:
+        lo, hi = starts[s], starts[s + 1]
+        tagmap: dict = {}
+        mget = tagmap.get
+        tagw: list = []
+        privw: list = []
+        dirty: list = []
+        lru: list = []
+        lru_remove = lru.remove
+        lru_append = lru.append
+        lru_pop = lru.pop
+        filled = 0
+        for tag, priv, isw, dm, oi in zip(
+            TG[lo:hi], PV[lo:hi], WR[lo:hi],
+            DM[lo:hi] if track_dm else TG[lo:hi],
+            OR[lo:hi] if record else TG[lo:hi],
+        ):
+            w = mget(tag)
+            if w is not None:
+                lru_remove(w)
+                lru_append(w)
+                if isw:
+                    dirty[w] = True
+                continue
+            misses += 1
+            if priv:
+                kernel_misses += 1
+            if track_dm and dm:
+                demand_misses += 1
+            if record:
+                miss_idx.append(oi)
+            if filled < ways:
+                tagmap[tag] = filled
+                tagw.append(tag)
+                privw.append(priv)
+                dirty.append(isw)
+                lru_append(filled)
+                filled += 1
+            else:
+                w = lru_pop(0)
+                lru_append(w)
+                evictions += 1
+                vp = privw[w]
+                ec[(vp << 1) | priv] += 1
+                if dirty[w]:
+                    writebacks += 1
+                    if record:
+                        wb_idx.append(oi)
+                        wb_set.append(s)
+                        wb_tag.append(tagw[w])
+                        wb_priv.append(vp)
+                del tagmap[tagw[w]]
+                tagmap[tag] = w
+                tagw[w] = tag
+                privw[w] = priv
+                dirty[w] = isw
+    counters = (misses, kernel_misses, demand_misses, evictions, writebacks,
+                0, 0, ec[0], ec[1], ec[2], ec[3])
+    return counters, wb_set, wb_tag
+
+
+def _replay_sets_retention(ways, active_sets, starts, T, TG, PV, WR, DM, OR,
+                           events, window, finalize_tick):
+    """Per-set replay with fixed-window invalidate-on-expiry retention.
+
+    Mirrors the reference engine access path exactly: an expired resident
+    block turns its access into an expiry invalidation + plain miss; the
+    fill frame is the lowest free way, else the lowest expired way
+    (reclaimed without eviction accounting), else the LRU victim.
+    """
+    misses = kernel_misses = demand_misses = 0
+    evictions = writebacks = 0
+    expiry_invalidations = expiry_writebacks = 0
+    ec = [0, 0, 0, 0]
+    track_dm = DM is not None
+    record = events is not None
+    wb_set: list = []
+    wb_tag: list = []
+    if record:
+        miss_idx = events.miss_idx
+        wb_idx = events.wb_idx
+        wb_priv = events.wb_priv
+    way_range = range(ways)
+    for s in active_sets:
+        lo, hi = starts[s], starts[s + 1]
+        tagmap: dict = {}
+        mget = tagmap.get
+        valid = [False] * ways
+        tagw = [0] * ways
+        privw = [0] * ways
+        dirty = [False] * ways
+        lastref = [0] * ways
+        seqs = [0] * ways
+        seqc = 0
+        for tick, tag, priv, isw, dm, oi in zip(
+            T[lo:hi], TG[lo:hi], PV[lo:hi], WR[lo:hi],
+            DM[lo:hi] if track_dm else TG[lo:hi],
+            OR[lo:hi] if record else TG[lo:hi],
+        ):
+            seqc += 1
+            w = mget(tag)
+            if w is not None:
+                if tick - lastref[w] > window:
+                    # Resident but decayed: a retention-caused miss.
+                    expiry_invalidations += 1
+                    if dirty[w]:
+                        expiry_writebacks += 1
+                    valid[w] = False
+                    del tagmap[tag]
+                else:
+                    seqs[w] = seqc
+                    if isw:
+                        dirty[w] = True
+                        lastref[w] = tick  # a store rewrites the cells
+                    continue
+            misses += 1
+            if priv:
+                kernel_misses += 1
+            if track_dm and dm:
+                demand_misses += 1
+            if record:
+                miss_idx.append(oi)
+            target = -1
+            expired_way = -1
+            for i in way_range:
+                if not valid[i]:
+                    target = i
+                    break
+                if expired_way < 0 and tick - lastref[i] > window:
+                    expired_way = i
+            if target < 0:
+                if expired_way >= 0:
+                    # Reclaim a decayed frame: not an interference eviction.
+                    target = expired_way
+                    if dirty[target]:
+                        expiry_writebacks += 1
+                    del tagmap[tagw[target]]
+                else:
+                    target = seqs.index(min(seqs))
+                    evictions += 1
+                    vp = privw[target]
+                    ec[(vp << 1) | priv] += 1
+                    if dirty[target]:
+                        writebacks += 1
+                        if record:
+                            wb_idx.append(oi)
+                            wb_set.append(s)
+                            wb_tag.append(tagw[target])
+                            wb_priv.append(vp)
+                    del tagmap[tagw[target]]
+            valid[target] = True
+            tagw[target] = tag
+            privw[target] = priv
+            dirty[target] = isw
+            lastref[target] = tick
+            seqs[target] = seqc
+            tagmap[tag] = target
+        if finalize_tick is not None:
+            # SetAssociativeCache.finalize: drain dirty blocks that decayed
+            # unobserved before the end of the simulated window.
+            for i in way_range:
+                if valid[i] and dirty[i] and finalize_tick - lastref[i] > window:
+                    expiry_writebacks += 1
+    counters = (misses, kernel_misses, demand_misses, evictions, writebacks,
+                expiry_invalidations, expiry_writebacks, ec[0], ec[1], ec[2], ec[3])
+    return counters, wb_set, wb_tag
+
+
+# ----------------------------------------------------------------------
+# front ends
+
+
+def fast_l1_filter(trace, platform: PlatformConfig):
+    """Array-backed equivalent of :func:`repro.cache.hierarchy.l1_filter`.
+
+    Splits the trace into the L1I and L1D streams, replays each through
+    the kernel with event recording, and merges the miss/write-back
+    events back into program order — producing an ``L2Stream`` whose
+    columns and L1 stats are bit-identical to the reference filter
+    (LRU L1s only; enforced by the dispatch in ``l1_filter``).
+    """
+    from repro.cache.hierarchy import L2Stream
+
+    kinds = trace.kinds
+    ifetch_mask = kinds == np.uint8(AccessKind.IFETCH)
+    data_mask = ~ifetch_mask
+    all_idx = np.arange(len(trace), dtype=np.int64)
+
+    i_idx = all_idx[ifetch_mask]
+    i_stats, i_ev = simulate_trace(
+        platform.l1i,
+        trace.ticks[ifetch_mask],
+        trace.addrs[ifetch_mask],
+        trace.privs[ifetch_mask],
+        np.zeros(len(i_idx), dtype=bool),
+        record_events=True,
+        orig_indices=i_idx,
+    )
+    d_idx = all_idx[data_mask]
+    d_stats, d_ev = simulate_trace(
+        platform.l1d,
+        trace.ticks[data_mask],
+        trace.addrs[data_mask],
+        trace.privs[data_mask],
+        kinds[data_mask] == np.uint8(AccessKind.STORE),
+        record_events=True,
+        orig_indices=d_idx,
+    )
+
+    miss_idx = np.asarray(i_ev.miss_idx + d_ev.miss_idx, dtype=np.int64)
+    wb_idx = np.asarray(i_ev.wb_idx + d_ev.wb_idx, dtype=np.int64)
+    wb_addr = np.concatenate([i_ev.wb_addr, d_ev.wb_addr])
+    wb_priv = np.asarray(i_ev.wb_priv + d_ev.wb_priv, dtype=np.uint8)
+
+    # Merge demand rows (sub-key 0) and write-back rows (sub-key 1) back
+    # into program order: a write-back lands right after the miss that
+    # evicted it, exactly like the reference filter's append order.
+    row_idx = np.concatenate([miss_idx, wb_idx])
+    row_sub = np.concatenate([
+        np.zeros(len(miss_idx), dtype=np.int8),
+        np.ones(len(wb_idx), dtype=np.int8),
+    ])
+    merge = np.lexsort((row_sub, row_idx))
+    row_idx = row_idx[merge]
+    writes_col = row_sub[merge] == 1
+    addr_col = np.concatenate([trace.addrs[miss_idx], wb_addr])[merge]
+    priv_col = np.concatenate([trace.privs[miss_idx], wb_priv])[merge]
+
+    return L2Stream(
+        name=trace.name,
+        ticks=trace.ticks[row_idx].astype(np.int64),
+        addrs=addr_col.astype(np.uint64),
+        privs=priv_col.astype(np.uint8),
+        writes=writes_col,
+        demand=~writes_col,
+        instructions=trace.instructions,
+        trace_accesses=len(trace),
+        duration_ticks=trace.duration_ticks,
+        l1i_stats=i_stats,
+        l1d_stats=d_stats,
+    )
+
+
+def try_run_fixed(stream, segments, router) -> bool:
+    """Replay ``stream`` through fixed segments with the fast kernel.
+
+    Returns False (leaving every cache untouched) unless all segment
+    caches are inside the envelope and the router is a pure
+    privilege→segment mapping.  On success the per-segment ``stats``
+    (including finalize accounting) are installed on each cache and the
+    caller must skip its own replay loop and ``finalize`` pass.
+    """
+    caches = [seg.cache for seg in segments]
+    if not caches or not all(supports_cache(c) for c in caches):
+        return False
+    user_cache = router(int(Privilege.USER))
+    kernel_cache = router(int(Privilege.KERNEL))
+    if not any(user_cache is c for c in caches):
+        return False
+    if not any(kernel_cache is c for c in caches):
+        return False
+
+    final_tick = stream.duration_ticks
+    if user_cache is kernel_cache:
+        jobs = [(user_cache, slice(None))]
+    else:
+        kernel_rows = stream.privs == np.uint8(Privilege.KERNEL)
+        jobs = [(user_cache, ~kernel_rows), (kernel_cache, kernel_rows)]
+    for cache, rows in jobs:
+        stats, _ = simulate_trace(
+            cache.geometry,
+            stream.ticks[rows],
+            stream.addrs[rows],
+            stream.privs[rows],
+            stream.writes[rows],
+            stream.demand[rows],
+            retention_ticks=cache.retention_ticks,
+            refresh_mode=cache.refresh_mode,
+            finalize_tick=final_tick,
+        )
+        cache.stats = stats
+    return True

@@ -94,13 +94,33 @@ class L2Stream:
         )
 
 
-def l1_filter(trace: Trace, platform: PlatformConfig, policy: str = "lru") -> L2Stream:
+def l1_filter(
+    trace: Trace, platform: PlatformConfig, policy: str = "lru", engine: str = "auto"
+) -> L2Stream:
     """Run ``trace`` through split L1 caches, returning the L2 stream.
 
     Instruction fetches go through the L1I, loads/stores through the L1D
     (write-back, write-allocate).  Dirty L1D victims become write-back
     rows in the output at the tick of the access that evicted them.
+
+    ``engine`` selects the simulation path: ``"auto"`` uses the
+    vectorized fast kernel (:mod:`repro.cache.fastsim`) whenever the
+    configuration qualifies (LRU replacement — the L1s never use
+    retention or gating) and falls back to the per-access reference
+    engine otherwise; ``"fast"`` requires the kernel (raising when the
+    policy disqualifies it); ``"reference"`` forces the reference
+    engine.  Both paths produce bit-identical streams and L1 stats.
     """
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"engine must be 'auto', 'fast' or 'reference', got {engine!r}")
+    if engine != "reference" and policy == "lru":
+        from repro.cache import fastsim
+
+        if engine == "fast" or fastsim.enabled():
+            return fastsim.fast_l1_filter(trace, platform)
+    if engine == "fast":
+        raise ValueError(f"the fast L1 filter supports only the 'lru' policy, got {policy!r}")
+
     l1i = SetAssociativeCache(platform.l1i, policy, name="l1i")
     l1d = SetAssociativeCache(platform.l1d, policy, name="l1d")
 

@@ -140,6 +140,11 @@ class SetAssociativeCache:
         self._tagmaps: list[dict[int, int]] = [dict() for _ in range(self._num_sets)]
         self._pstates: list[object] = [self.policy.init_set(self.ways) for _ in range(self._num_sets)]
         self._track_ranks = isinstance(self.policy, LRUPolicy)
+        # Reused hit outcome: every hit returns this one object (with the
+        # rank refreshed) instead of allocating a new AccessResult.  All
+        # constant fields stay constant; callers consume the result
+        # before the next access, so sharing is observationally safe.
+        self._hit_result = AccessResult(True, False, False, None)
         # Epoch counters consumed by the dynamic partition controller.
         self.epoch_accesses = 0
         self.epoch_misses = 0
@@ -270,22 +275,29 @@ class SetAssociativeCache:
                 del tagmap[tag]
                 way = None
             else:
-                self._account_refresh(entry, tick)
-                self._account_awake(entry, tick)
+                # Hot hit path: guard the lazy-accounting calls inline (the
+                # feature checks are cheaper than the calls they elide) and
+                # return the preallocated hit result.
+                if self._refresh_period is not None:
+                    self._account_refresh(entry, tick)
+                if self.drowsy_window is not None:
+                    self._account_awake(entry, tick)
                 st.hits += 1
-                rank = (
-                    self.policy.hit_rank(pstate, way, self.powered_ways)
-                    if self._track_ranks
-                    else None
-                )
-                if rank is not None and rank < len(self.epoch_rank_hits):
-                    self.epoch_rank_hits[rank] += 1
-                entry.dirty = entry.dirty or is_write
+                if self._track_ranks:
+                    rank = self.policy.hit_rank(pstate, way, self.powered_ways)
+                    if rank < len(self.epoch_rank_hits):
+                        self.epoch_rank_hits[rank] += 1
+                else:
+                    rank = None
                 if is_write:
+                    entry.dirty = True
                     entry.last_refresh = tick  # a store rewrites the cells
-                    self._draw_life(entry)
+                    if self._retention_rng is not None:
+                        self._draw_life(entry)
                 self.policy.on_hit(pstate, way)
-                return AccessResult(True, False, False, rank)
+                hit_result = self._hit_result
+                hit_result.hit_rank = rank
+                return hit_result
 
         # Miss path ----------------------------------------------------
         st.misses += 1

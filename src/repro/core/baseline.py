@@ -44,18 +44,21 @@ class BaselineDesign:
             )
 
     def run(
-        self, stream: L2Stream, platform: PlatformConfig, dram_model=None, prefetcher=None
+        self, stream: L2Stream, platform: PlatformConfig, dram_model=None, prefetcher=None,
+        engine: str = "auto",
     ) -> DesignResult:
         """Replay ``stream`` through the shared L2.
 
         ``dram_model`` optionally routes misses through a bank-level
         DRAM model (see :mod:`repro.dram`); ``prefetcher`` optionally
         adds an L2 prefetcher (see :mod:`repro.cache.prefetch`).
+        ``engine`` picks the replay path (``"auto"``/``"fast"``/
+        ``"reference"``, see :func:`~repro.core.replay.run_fixed_design`).
         """
         geometry = self.geometry if self.geometry is not None else platform.l2
         cache = SetAssociativeCache(geometry, self.policy, name="l2-shared")
         segment = FixedSegment("shared", cache, self.tech)
         return run_fixed_design(
             self.name, stream, platform, [segment], lambda priv: cache,
-            dram_model, prefetcher,
+            dram_model, prefetcher, engine,
         )

@@ -40,6 +40,7 @@ def run_fixed_design(
     router: Callable[[int], SetAssociativeCache],
     dram_model: DRAMModel | None = None,
     prefetcher: Prefetcher | None = None,
+    engine: str = "auto",
 ) -> DesignResult:
     """Replay ``stream`` through fixed segments and assemble the result.
 
@@ -58,43 +59,72 @@ def run_fixed_design(
             its proposals are installed as non-demand fills into the
             missing access's segment (so in a partitioned design a
             kernel miss can only pollute the kernel segment).
+        engine: ``"auto"`` replays through the vectorized fast kernel
+            (:mod:`repro.cache.fastsim`) when the whole design qualifies
+            — LRU segments, no gating/drowsy, retention ``none`` or
+            ``invalidate``, and neither a DRAM model nor a prefetcher
+            (both need per-access interleaving) — falling back to the
+            reference engine otherwise.  ``"fast"`` requires the kernel
+            and raises when the design disqualifies; ``"reference"``
+            forces the per-access engine.  The chosen path is recorded
+            in ``DesignResult.extras["sim_engine"]``.
     """
-    ticks = stream.ticks.tolist()
-    addrs = stream.addrs.tolist()
-    privs = stream.privs.tolist()
-    writes = stream.writes.tolist()
-    demand = stream.demand.tolist()
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"engine must be 'auto', 'fast' or 'reference', got {engine!r}")
+    sim_engine = "reference"
+    if engine != "reference" and dram_model is None and prefetcher is None:
+        from repro.cache import fastsim
+
+        if (engine == "fast" or fastsim.enabled()) and fastsim.try_run_fixed(
+            stream, segments, router
+        ):
+            sim_engine = "fastsim"
+    if engine == "fast" and sim_engine != "fastsim":
+        raise ValueError(
+            f"design {design_name!r} does not qualify for the fast kernel "
+            "(needs LRU segments, retention 'none'/'invalidate', no DRAM "
+            "model, no prefetcher)"
+        )
+
     dram_read_stall = 0
     prefetch_issued = 0
     prefetch_useful = 0
-    pending_prefetches: set[int] = set()
-    for tick, addr, priv, is_write, is_demand in zip(ticks, addrs, privs, writes, demand):
-        cache = router(priv)
-        result = cache.access(addr, is_write, priv, tick, is_demand)
-        if result.hit:
-            if pending_prefetches and is_demand:
-                block = addr & ~63
-                if block in pending_prefetches:
-                    prefetch_useful += 1
-                    pending_prefetches.discard(block)
-            continue
-        if is_demand and dram_model is not None:
-            dram_read_stall += dram_model.access(addr, tick)
-        if result.writeback and dram_model is not None:
-            dram_model.access(result.victim_addr, tick, is_write=True)
-        if is_demand and prefetcher is not None:
-            for target in prefetcher.on_miss(addr):
-                pf = cache.access(target, False, priv, tick, demand=False)
-                prefetch_issued += 1
-                if not pf.hit:
-                    pending_prefetches.add(target & ~63)
-                    if dram_model is not None:
-                        dram_model.access(target, tick)
-                    if pf.writeback and dram_model is not None:
-                        dram_model.access(pf.victim_addr, tick, is_write=True)
     final_tick = stream.duration_ticks
-    for seg in segments:
-        seg.cache.finalize(final_tick)
+    if sim_engine == "reference":
+        ticks = stream.ticks.tolist()
+        addrs = stream.addrs.tolist()
+        privs = stream.privs.tolist()
+        writes = stream.writes.tolist()
+        demand = stream.demand.tolist()
+        block_size = segments[0].cache.geometry.block_size
+        block_mask = ~(block_size - 1)
+        pending_prefetches: set[int] = set()
+        for tick, addr, priv, is_write, is_demand in zip(ticks, addrs, privs, writes, demand):
+            cache = router(priv)
+            result = cache.access(addr, is_write, priv, tick, is_demand)
+            if result.hit:
+                if pending_prefetches and is_demand:
+                    block = addr & block_mask
+                    if block in pending_prefetches:
+                        prefetch_useful += 1
+                        pending_prefetches.discard(block)
+                continue
+            if is_demand and dram_model is not None:
+                dram_read_stall += dram_model.access(addr, tick)
+            if result.writeback and dram_model is not None:
+                dram_model.access(result.victim_addr, tick, is_write=True)
+            if is_demand and prefetcher is not None:
+                for target in prefetcher.on_miss(addr):
+                    pf = cache.access(target, False, priv, tick, demand=False)
+                    prefetch_issued += 1
+                    if not pf.hit:
+                        pending_prefetches.add(target & block_mask)
+                        if dram_model is not None:
+                            dram_model.access(target, tick)
+                        if pf.writeback and dram_model is not None:
+                            dram_model.access(pf.victim_addr, tick, is_write=True)
+        for seg in segments:
+            seg.cache.finalize(final_tick)
 
     # Timing: weighted technology penalties across segments.
     total_demand = sum(seg.cache.stats.demand_accesses for seg in segments)
@@ -153,6 +183,7 @@ def run_fixed_design(
     if prefetcher is not None:
         extras["prefetch_issued"] = prefetch_issued
         extras["prefetch_useful"] = prefetch_useful
+    extras["sim_engine"] = sim_engine
     return DesignResult(
         design=design_name,
         app=stream.name,

@@ -89,13 +89,16 @@ class StaticPartitionDesign:
         )
 
     def run(
-        self, stream: L2Stream, platform: PlatformConfig, dram_model=None, prefetcher=None
+        self, stream: L2Stream, platform: PlatformConfig, dram_model=None, prefetcher=None,
+        engine: str = "auto",
     ) -> DesignResult:
         """Replay ``stream`` through the two privilege segments.
 
         ``dram_model`` optionally routes misses through a bank-level
         DRAM model (see :mod:`repro.dram`); ``prefetcher`` optionally
         adds an L2 prefetcher (see :mod:`repro.cache.prefetch`).
+        ``engine`` picks the replay path (``"auto"``/``"fast"``/
+        ``"reference"``, see :func:`~repro.core.replay.run_fixed_design`).
         """
         user = self._segment(platform, self.user_ways, self.user_tech, "user")
         kernel = self._segment(platform, self.kernel_ways, self.kernel_tech, "kernel")
@@ -112,4 +115,5 @@ class StaticPartitionDesign:
             lambda priv: kernel if priv == kernel_priv else user,
             dram_model,
             prefetcher,
+            engine,
         )

@@ -43,6 +43,22 @@ class SweepResult:
         """Store hit rate over the batch (0.0 for an empty sweep)."""
         return self.cached / len(self.outcomes) if self.outcomes else 0.0
 
+    @property
+    def fastsim_jobs(self) -> int:
+        """Jobs whose replay ran on the vectorized fast kernel."""
+        return sum(
+            1 for o in self.outcomes
+            if o.result.extras.get("sim_engine") == "fastsim"
+        )
+
+    @property
+    def reference_jobs(self) -> int:
+        """Jobs whose replay used the per-access reference engine."""
+        return sum(
+            1 for o in self.outcomes
+            if o.result.extras.get("sim_engine") == "reference"
+        )
+
     def results(self) -> dict[tuple[str, str, int], object]:
         """``(design, app, seed) -> DesignResult`` for every job."""
         return {(o.spec.design, o.spec.app, o.spec.seed): o.result for o in self.outcomes}
@@ -71,7 +87,8 @@ class SweepResult:
         )
         footer = (
             f"store: {self.cached}/{len(self.outcomes)} jobs served from cache "
-            f"({self.hit_rate():.1%}); {self.simulated} simulated in {self.wall_s:.1f}s"
+            f"({self.hit_rate():.1%}); {self.simulated} simulated in {self.wall_s:.1f}s; "
+            f"sim engine: {self.fastsim_jobs} fastsim / {self.reference_jobs} reference"
         )
         return f"{table}\n{footer}"
 

@@ -350,6 +350,88 @@ class TestPoweredWays:
         assert c.access(0x40 * 16 * 7, False, U, 100).hit
 
 
+class TestGatedWayAccounting:
+    """Exact counter accounting of `set_powered_ways` and gated misses."""
+
+    def test_gate_flush_accounting_retained(self):
+        c = one_set_cache(ways=4)  # retains_when_gated=True
+        c.access(0x000, True, U, 0)   # dirty, way 0 (stays powered)
+        c.access(0x400, True, K, 1)   # dirty, way 1 (gated below)
+        c.access(0x800, False, U, 2)  # clean, way 2
+        c.access(0xC00, False, U, 3)  # clean, way 3
+        flushes = c.set_powered_ways(1, 10)
+        assert flushes == 1  # only the dirty block in a gated way
+        assert c.stats.gate_flushes == 1
+        assert c.stats.writebacks == 1
+        # the flush cleared the dirty bit: re-gating costs nothing
+        c.set_powered_ways(4, 11)
+        assert c.set_powered_ways(1, 12) == 0
+        assert c.stats.gate_flushes == 1
+        assert c.stats.writebacks == 1
+
+    def test_gating_clean_blocks_costs_nothing(self):
+        c = one_set_cache(ways=4)
+        for i in range(4):
+            c.access(0x400 * i, False, U, i)
+        assert c.set_powered_ways(1, 10) == 0
+        assert c.stats.gate_flushes == 0
+        assert c.stats.writebacks == 0
+
+    def test_volatile_gating_flushes_and_invalidates(self):
+        c = one_set_cache(ways=4, retains_when_gated=False)
+        c.access(0x000, False, U, 0)
+        c.access(0x400, True, U, 1)
+        c.access(0x800, True, U, 2)
+        c.access(0xC00, False, U, 3)
+        flushes = c.set_powered_ways(1, 10)
+        assert flushes == 2  # both dirty blocks in the gated ways
+        assert c.stats.gate_flushes == 2
+        assert c.stats.writebacks == 2
+        # volatile cells: the gated blocks are gone, not just hidden
+        assert c.occupancy() == pytest.approx(0.25)
+        c.set_powered_ways(4, 11)
+        hits = sum(c.access(0x400 * i, False, U, 20 + i).hit for i in range(4))
+        assert hits == 1  # only the never-gated way 0 survived
+
+    def test_gated_miss_cleans_mapping_without_duplicates(self):
+        c = one_set_cache(ways=4)  # retained: mappings stay after gating
+        for i in range(4):
+            c.access(0x400 * i, False, U, i)
+        c.set_powered_ways(2, 5)
+        before = c.gated_misses
+        r = c.access(0x800, False, U, 10)  # resident in gated way 2
+        assert not r.hit
+        assert c.gated_misses == before + 1
+        # the refill landed in the powered region; waking the gated way
+        # must not resurrect a second copy of the same tag
+        c.set_powered_ways(4, 11)
+        assert c.access(0x800, False, U, 12).hit
+        assert c.stats.accesses == c.stats.hits + c.stats.misses
+        c.stats.check_invariants()
+
+    def test_no_gated_miss_when_volatile(self):
+        # With retains_when_gated=False the mapping dies at gating time,
+        # so a later access is an ordinary miss, not a gated miss.
+        c = one_set_cache(ways=4, retains_when_gated=False)
+        for i in range(4):
+            c.access(0x400 * i, False, U, i)
+        c.set_powered_ways(1, 5)
+        assert not c.access(0x800, False, U, 10).hit
+        assert c.gated_misses == 0
+
+    def test_expired_dirty_gating_charges_expiry_not_flush(self):
+        c = one_set_cache(ways=4, retention_ticks=10, refresh_mode="invalidate")
+        c.access(0x000, True, U, 0)  # way 0: stays powered
+        c.access(0x400, True, U, 1)  # way 1: gated below, expired by then
+        flushes = c.set_powered_ways(1, 100)
+        # the gated dirty block decayed first: its drain is an expiry
+        # write-back (retention accounting), not a gate flush
+        assert flushes == 0
+        assert c.stats.gate_flushes == 0
+        assert c.stats.expiry_writebacks == 1
+        assert c.stats.writebacks == 0
+
+
 class TestEpochCounters:
     def test_begin_epoch_resets(self):
         c = one_set_cache()
