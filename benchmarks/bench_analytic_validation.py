@@ -11,7 +11,7 @@ import numpy as np
 
 from conftest import run_once
 from repro.analytic import profile_blocks
-from repro.config import DEFAULT_PLATFORM, CacheGeometry
+from repro.config import CacheGeometry
 from repro.core.baseline import BaselineDesign
 from repro.experiments import experiment_stream, format_table, run_design_on
 

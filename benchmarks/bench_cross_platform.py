@@ -11,7 +11,7 @@ import numpy as np
 from conftest import run_once
 from repro.cache.hierarchy import l1_filter
 from repro.config import platform_preset
-from repro.core import BaselineDesign, StaticPartitionDesign, multi_retention_design
+from repro.core import BaselineDesign, multi_retention_design
 from repro.experiments import format_table
 from repro.trace.workloads import suite_trace
 

@@ -5,7 +5,6 @@ kernel.  The kernel segment's value grows with core count: every core's
 syscalls reuse the same kernel blocks, while user blocks only contend.
 """
 
-import numpy as np
 
 from conftest import run_once
 from repro.config import DEFAULT_PLATFORM

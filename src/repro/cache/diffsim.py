@@ -27,9 +27,18 @@ import numpy as np
 from repro.cache.fastsim import simulate_trace
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
-from repro.config import CacheGeometry
+from repro.config import CacheGeometry, PlatformConfig
 
-__all__ = ["DiffCase", "sample_case", "run_case", "assert_case_equal"]
+__all__ = [
+    "DiffCase",
+    "sample_case",
+    "run_case",
+    "assert_case_equal",
+    "DynamicDiffCase",
+    "sample_dynamic_case",
+    "run_dynamic_case",
+    "assert_dynamic_case_equal",
+]
 
 
 @dataclass(frozen=True)
@@ -156,5 +165,180 @@ def assert_case_equal(case: DiffCase) -> None:
         ]
         raise AssertionError(
             "fastsim diverged from the reference engine on "
+            + case.describe() + "\n" + "\n".join(mismatches)
+        )
+
+
+# ----------------------------------------------------------------------
+# dynamic-design differential harness (epoch-chunked replay)
+
+
+@dataclass(frozen=True)
+class DynamicDiffCase:
+    """One randomized configuration of the dynamic-design harness.
+
+    Covers the full :class:`~repro.core.dynamic_partition.
+    DynamicPartitionDesign` run — controller resizes, idle gating,
+    wake-on-first-access, retention expiry and gating semantics — not
+    just raw cache counters, so equality is asserted on the whole
+    :class:`~repro.core.result.DesignResult` (timelines, resize counts
+    and energy/timing numbers included).
+    """
+
+    seed: int
+    sets: int
+    block_size: int
+    clock_hz: float             # low clocks shrink retention windows
+    epoch_ticks: int
+    max_user_ways: int
+    max_kernel_ways: int
+    start_user_ways: int
+    start_kernel_ways: int
+    idle_accesses: int
+    decision_accesses: int
+    grow_step: int
+    user_tech: str              # STT retention class, or "sram"
+    kernel_tech: str
+    bursts: int
+    burst_len: int
+    burst_gap: int              # upper bound of intra-burst tick gaps
+    idle_gap: int               # upper bound of inter-burst idle spans
+    addr_blocks: int
+    write_frac: float
+    kernel_frac: float
+    wb_frac: float
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} {self.sets}s/{self.block_size}B clock={self.clock_hz:g} "
+            f"epoch={self.epoch_ticks} user={self.user_tech}<= {self.max_user_ways}w "
+            f"kernel={self.kernel_tech}<={self.max_kernel_ways}w "
+            f"bursts={self.bursts}x{self.burst_len} idle<={self.idle_gap}"
+        )
+
+
+def sample_dynamic_case(seed: int) -> DynamicDiffCase:
+    """Draw one dynamic-design configuration.
+
+    Workloads are bursty with multi-epoch idle gaps — the shape the
+    controller exists for — so idle gating, wake-on-first-access and
+    regrowth all fire.  Technologies mix retention classes with SRAM
+    (volatile gating: contents lost when a way powers off), and low
+    clock rates pull the retention windows inside the trace span.
+    """
+    rng = np.random.default_rng(seed ^ 0xD1FF)
+    epoch_ticks = int(rng.choice([2_000, 5_000, 12_500, 25_000]))
+    max_user = int(rng.integers(2, 11))
+    max_kernel = int(rng.integers(2, 7))
+    techs = ["short", "medium", "long", "sram"]
+    return DynamicDiffCase(
+        seed=seed,
+        sets=int(rng.choice([4, 16, 64])),
+        block_size=int(rng.choice([32, 64])),
+        clock_hz=float(rng.choice([1e5, 3e5, 1e6])),
+        epoch_ticks=epoch_ticks,
+        max_user_ways=max_user,
+        max_kernel_ways=max_kernel,
+        start_user_ways=int(rng.integers(1, max_user + 1)),
+        start_kernel_ways=int(rng.integers(1, max_kernel + 1)),
+        idle_accesses=int(rng.choice([0, 8, 24])),
+        decision_accesses=int(rng.choice([40, 120, 300])),
+        grow_step=int(rng.choice([1, 3])),
+        user_tech=str(rng.choice(techs)),
+        kernel_tech=str(rng.choice(techs)),
+        bursts=int(rng.integers(4, 12)),
+        burst_len=int(rng.integers(200, 900)),
+        burst_gap=int(rng.choice([4, 16, 40])),
+        idle_gap=int(epoch_ticks * float(rng.choice([0.5, 2.0, 6.0]))),
+        addr_blocks=int(rng.integers(64, 2_048)),
+        write_frac=float(rng.uniform(0.05, 0.6)),
+        kernel_frac=float(rng.uniform(0.1, 0.7)),
+        wb_frac=float(rng.uniform(0.0, 0.25)),
+    )
+
+
+def _dynamic_stream(case: DynamicDiffCase):
+    """Synthesize a bursty L2 stream for one case (deterministic)."""
+    from repro.cache.hierarchy import L2Stream
+
+    rng = np.random.default_rng(case.seed ^ 0xB0057)
+    n = case.bursts * case.burst_len
+    gaps = rng.integers(1, case.burst_gap + 1, size=n)
+    # every burst boundary opens an idle span, often several epochs long
+    starts = np.arange(0, n, case.burst_len)[1:]
+    gaps[starts] += rng.integers(0, case.idle_gap + 1, size=len(starts))
+    ticks = np.cumsum(gaps).astype(np.int64)
+    blocks = rng.integers(0, case.addr_blocks, size=n).astype(np.uint64)
+    offsets = rng.integers(0, case.block_size, size=n).astype(np.uint64)
+    addrs = blocks * np.uint64(case.block_size) + offsets
+    return L2Stream(
+        name=f"dyn-diff-{case.seed}",
+        ticks=ticks,
+        addrs=addrs,
+        privs=(rng.random(n) < case.kernel_frac).astype(np.uint8),
+        writes=rng.random(n) < case.write_frac,
+        demand=rng.random(n) >= case.wb_frac,
+        instructions=n * 3,
+        trace_accesses=n * 4,
+        duration_ticks=int(ticks[-1]) + case.burst_gap + 1,
+        l1i_stats=CacheStats(),
+        l1d_stats=CacheStats(),
+    )
+
+
+def run_dynamic_case(case: DynamicDiffCase):
+    """Run one case through both engines; returns (reference, fast)
+    :class:`~repro.core.result.DesignResult` objects."""
+    from repro.core.dynamic_partition import (
+        DynamicControllerConfig,
+        DynamicPartitionDesign,
+    )
+    from repro.energy.technology import sram, stt_ram
+
+    def tech(name):
+        return sram() if name == "sram" else stt_ram(name)
+
+    config = DynamicControllerConfig(
+        epoch_ticks=case.epoch_ticks,
+        max_user_ways=case.max_user_ways,
+        max_kernel_ways=case.max_kernel_ways,
+        start_user_ways=case.start_user_ways,
+        start_kernel_ways=case.start_kernel_ways,
+        idle_accesses=case.idle_accesses,
+        decision_accesses=case.decision_accesses,
+        grow_step=case.grow_step,
+    )
+    design = DynamicPartitionDesign(
+        config=config,
+        user_tech=tech(case.user_tech),
+        kernel_tech=tech(case.kernel_tech),
+    )
+    l2_ways = max(case.max_user_ways, case.max_kernel_ways)
+    platform = PlatformConfig(
+        l1i=CacheGeometry(32 * 1024, 4, case.block_size),
+        l1d=CacheGeometry(32 * 1024, 4, case.block_size),
+        l2=CacheGeometry(case.sets * l2_ways * case.block_size, l2_ways, case.block_size),
+        clock_hz=case.clock_hz,
+    )
+    stream = _dynamic_stream(case)
+    ref = design.run(stream, platform, engine="reference")
+    fast = design.run(stream, platform, engine="fast")
+    return ref, fast
+
+
+def assert_dynamic_case_equal(case: DynamicDiffCase) -> None:
+    """Raise ``AssertionError`` with a field-level diff on any mismatch."""
+    ref, fast = run_dynamic_case(case)
+    ref_d, fast_d = ref.to_dict(), fast.to_dict()
+    assert ref_d["extras"].pop("sim_engine") == "reference"
+    assert fast_d["extras"].pop("sim_engine") == "fastsim"
+    if ref_d != fast_d:
+        mismatches = [
+            f"  {key}: reference={ref_d[key]!r} fast={fast_d[key]!r}"
+            for key in ref_d
+            if ref_d[key] != fast_d[key]
+        ]
+        raise AssertionError(
+            "the epoch-chunked kernel diverged from the reference engine on "
             + case.describe() + "\n" + "\n".join(mismatches)
         )

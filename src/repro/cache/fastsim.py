@@ -21,12 +21,21 @@ supported envelope (checked by :func:`supports_cache`):
 * fixed geometry: no way resizing, no power gating, no drowsy mode,
 * retention ``none``, or ``invalidate`` with the fixed-window model.
 
+On top of the whole-trace kernel, :class:`EpochReplaySegment` extends
+the envelope to the dynamic partition design's **epoch-chunked replay**:
+the geometry stays fixed *within* a chunk (one controller epoch), while
+powered-way gating and wake-on-first-access are applied between chunks —
+exactly where the reference engine applies them — so the epoch
+controller's decisions, timelines and resize counters come out
+bit-identical too.
+
 Everything outside the envelope — ``rewrite`` refresh, exponential
-retention lifetimes, gated ways, non-LRU policies, and any replay that
-needs per-access interleaving (bank-level DRAM, prefetching) — falls back
-to the reference engine.  ``tests/test_fastsim.py`` holds the randomized
-differential harness (:mod:`repro.cache.diffsim`) that proves the exact
-:class:`~repro.cache.stats.CacheStats` equality this module promises.
+retention lifetimes, non-LRU policies, drowsy voltage tracking, and any
+replay that needs per-access interleaving (bank-level DRAM, prefetching)
+— falls back to the reference engine.  ``tests/test_fastsim.py`` holds
+the randomized differential harness (:mod:`repro.cache.diffsim`) that
+proves the exact :class:`~repro.cache.stats.CacheStats` equality this
+module promises, for fixed and epoch-chunked replay alike.
 
 Set ``REPRO_FASTSIM=0`` to disable the fast path globally (every replay
 then uses the reference engine, useful when bisecting a discrepancy).
@@ -48,6 +57,7 @@ __all__ = [
     "enabled",
     "supports_cache",
     "simulate_trace",
+    "EpochReplaySegment",
     "MissEvents",
     "fast_l1_filter",
     "try_run_fixed",
@@ -480,6 +490,377 @@ def _replay_sets_retention(ways, active_sets, starts, T, TG, PV, WR, DM, OR,
     counters = (misses, kernel_misses, demand_misses, evictions, writebacks,
                 expiry_invalidations, expiry_writebacks, ec[0], ec[1], ec[2], ec[3])
     return counters, wb_set, wb_tag
+
+
+# ----------------------------------------------------------------------
+# epoch-chunked replay (the dynamic partition design)
+
+
+class EpochReplaySegment:
+    """Array-backed cache replayed one controller epoch at a time.
+
+    Duck-types the slice of :class:`~repro.cache.set_assoc.
+    SetAssociativeCache` the dynamic partition design drives —
+    ``powered_ways``/``powered_bytes``, ``set_powered_ways``,
+    ``begin_epoch``, the epoch counters and ``stats`` — while replaying
+    accesses in stream order over flat frame-state arrays.  The
+    caller (``DynamicPartitionDesign``) splits the stream into *chunks*
+    (maximal runs between controller-epoch boundaries), loads a
+    segment's rows once with :meth:`load`, and then alternates
+    ``replay_chunk`` with its controller steps.  Because the controller
+    only reconfigures the segment at epoch boundaries — and the one
+    mid-chunk reconfiguration, wake-on-first-access, is a free power-up
+    the caller applies via ``set_powered_ways`` before the chunk replays
+    — the geometry is constant inside every chunk and the replay is
+    bit-identical to the reference engine's per-access loop.
+
+    The envelope matches :func:`supports_cache` plus gating: true LRU,
+    retention ``none`` or fixed-window ``invalidate``, and power-gated
+    ways with either gating semantics (``retains_when_gated`` True keeps
+    contents through a gate like non-volatile STT-RAM; False invalidates
+    like SRAM).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        *,
+        retention_ticks: int | None = None,
+        refresh_mode: str = "none",
+        retains_when_gated: bool = True,
+        min_rank_accesses: int = 0,
+        name: str = "fastseg",
+    ) -> None:
+        if refresh_mode not in SUPPORTED_REFRESH_MODES:
+            raise ValueError(
+                f"fastsim supports refresh modes {SUPPORTED_REFRESH_MODES}, got {refresh_mode!r}"
+            )
+        if refresh_mode == "invalidate" and retention_ticks is None:
+            raise ValueError("refresh_mode 'invalidate' needs a finite retention_ticks")
+        geometry.validate()
+        self.geometry = geometry
+        self.name = name
+        self.ways = geometry.associativity
+        self.powered_ways = self.ways
+        self.retention_ticks = retention_ticks
+        self.refresh_mode = refresh_mode
+        self.retains_when_gated = retains_when_gated
+        # Rank-utility hits are only read by controller decisions, which
+        # require at least ``decision_accesses`` samples; chunks below
+        # ``min_rank_accesses`` rows skip the O(ways)-per-hit tracking.
+        self.min_rank_accesses = min_rank_accesses
+        self._window = retention_ticks if refresh_mode == "invalidate" else None
+        self.stats = CacheStats()
+        self.gated_misses = 0
+        self.epoch_accesses = 0
+        self.epoch_misses = 0
+        self.epoch_rank_hits: list[int] = [0] * self.ways
+        # Flat frame state indexed by ``set * ways + way``.  L2 chunks
+        # rarely revisit a set (L1s absorb the locality), so per-set
+        # state objects would be re-fetched on almost every access;
+        # flat arrays plus one block-keyed tag dict keep the per-access
+        # work to a few C-level index operations.  An invalid frame is
+        # always clean (``dirty`` implies ``valid``): the gating and
+        # finalize scans rely on it.
+        n_frames = geometry.num_sets * self.ways
+        self._n_frames = n_frames
+        self._valid = bytearray(n_frames)
+        self._dirty = bytearray(n_frames)
+        self._privw = bytearray(n_frames)
+        self._lastref = [0] * n_frames
+        self._seqs = [0] * n_frames
+        self._blockw = [0] * n_frames
+        self._tagmap: dict[int, int] = {}
+        # Exclusive per-set high-water bounds (indexed by the set's frame
+        # base): no dirty/valid frame sits at or above them, so the
+        # gating scan skips clean sets in O(1).  ``_max_dirty_hi`` /
+        # ``_max_valid_hi`` bound every per-set value, letting a resize
+        # skip the whole scan when nothing dirty/valid can sit above it.
+        self._dirty_hi = [0] * n_frames
+        self._valid_hi = [0] * n_frames
+        self._max_dirty_hi = 0
+        self._max_valid_hi = 0
+        self._seqc = 0
+        self._n_chunks = 0
+        self._chunk_starts: list[int] = [0]
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self.geometry.num_sets * self.ways * self.geometry.block_size
+
+    @property
+    def powered_bytes(self) -> int:
+        return self.geometry.num_sets * self.powered_ways * self.geometry.block_size
+
+    # -- the SetAssociativeCache maintenance protocol ------------------
+
+    def set_powered_ways(self, new_powered: int, tick: int) -> int:
+        """Gate or re-enable ways; mirrors the reference semantics.
+
+        Dirty live blocks in newly gated ways are flushed (write-back +
+        gate flush); dirty decayed blocks are drained as expiry
+        write-backs; with ``retains_when_gated=False`` every gated block
+        is additionally invalidated.  Re-enabling is free.
+        """
+        if not 1 <= new_powered <= self.ways:
+            raise ValueError(f"new_powered must be in [1, {self.ways}], got {new_powered}")
+        st = self.stats
+        window = self._window
+        flushes = 0
+        if new_powered < self.powered_ways:
+            lo, hi = new_powered, self.powered_ways
+            ways = self.ways
+            if self._max_dirty_hi > lo:
+                dirty = self._dirty
+                lastref = self._lastref
+                dirty_hi = self._dirty_hi
+                for base in range(0, self._n_frames, ways):
+                    dhi = dirty_hi[base]
+                    if dhi > lo:
+                        for f in range(base + lo, base + min(hi, dhi)):
+                            if dirty[f]:
+                                if window is not None and tick - lastref[f] > window:
+                                    st.expiry_writebacks += 1
+                                else:
+                                    st.writebacks += 1
+                                    st.gate_flushes += 1
+                                    flushes += 1
+                                dirty[f] = 0
+                        dirty_hi[base] = lo
+                self._max_dirty_hi = lo
+            if not self.retains_when_gated and self._max_valid_hi > lo:
+                tagmap = self._tagmap
+                valid = self._valid
+                blockw = self._blockw
+                valid_hi = self._valid_hi
+                for base in range(0, self._n_frames, ways):
+                    vhi = valid_hi[base]
+                    if vhi > lo:
+                        for f in range(base + lo, base + min(hi, vhi)):
+                            if valid[f]:
+                                del tagmap[blockw[f]]
+                                valid[f] = 0
+                        valid_hi[base] = lo
+                self._max_valid_hi = lo
+        self.powered_ways = new_powered
+        return flushes
+
+    def begin_epoch(self) -> None:
+        self.epoch_accesses = 0
+        self.epoch_misses = 0
+        self.epoch_rank_hits = [0] * self.ways
+
+    def finalize(self, tick: int) -> None:
+        """Drain dirty blocks that decayed unobserved (all ways, gated
+        included — gated blocks are always clean, so only live-frame
+        decay can charge here)."""
+        window = self._window
+        if window is None:
+            return
+        dirty = self._dirty
+        lastref = self._lastref
+        f = dirty.find(1)
+        while f >= 0:
+            # dirty implies valid (class invariant), no valid check needed
+            if tick - lastref[f] > window:
+                self.stats.expiry_writebacks += 1
+                dirty[f] = 0
+            f = dirty.find(1, f + 1)
+
+    # -- chunked replay ------------------------------------------------
+
+    def load(self, ticks, addrs, privs, writes, demand, chunk_ids, n_chunks: int) -> None:
+        """Decompose and index this segment's rows for chunked replay.
+
+        ``chunk_ids`` must be this segment's (non-decreasing) chunk
+        index per row — ``cummax(global ticks) // epoch_ticks`` masked
+        to the segment — so chunk boundaries agree across segments.
+        Outcome-independent stats (access totals, privilege and write
+        splits) are credited here; hit/miss counters accrue per chunk.
+        """
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        privs = np.asarray(privs)
+        n = len(addrs)
+        self._n_chunks = n_chunks
+        if n and int(privs.max()) > 1:
+            raise ValueError(
+                f"privilege values must be 0 (user) or 1 (kernel), got {int(privs.max())}"
+            )
+        st = self.stats
+        st.accesses += n
+        kernel_accesses = int(np.count_nonzero(privs))
+        st.accesses_by_priv[0] += n - kernel_accesses
+        st.accesses_by_priv[1] += kernel_accesses
+        st.write_accesses += int(np.count_nonzero(np.asarray(writes)))
+        st.demand_accesses += int(np.count_nonzero(np.asarray(demand)))
+        if n == 0:
+            self._chunk_starts = [0] * (n_chunks + 1)
+            return
+
+        geometry = self.geometry
+        block_bits = geometry.block_size.bit_length() - 1
+        num_sets = geometry.num_sets
+        blocks = addrs >> np.uint64(block_bits)
+        set_idx = (blocks & np.uint64(num_sets - 1)).astype(np.int64)
+
+        # Rows stay in stream order (exactly the reference loop's order);
+        # ``chunk_ids`` is non-decreasing, so each chunk is a contiguous
+        # slice found by searchsorted.  The frame base (set * ways) is
+        # precomputed so the replay loop never touches the set index.
+        self._ticks = np.asarray(ticks).tolist()
+        self._blocks = blocks.tolist()
+        self._bases = (set_idx * self.ways).tolist()
+        self._privs = privs.tolist()
+        self._writes = np.asarray(writes).tolist()
+        self._demand = np.asarray(demand).tolist()
+        chunk_ids = np.asarray(chunk_ids, dtype=np.int64)
+        self._chunk_starts = np.searchsorted(chunk_ids, np.arange(n_chunks + 1)).tolist()
+
+    def chunk_first_tick(self, chunk: int) -> int | None:
+        """Stream-order tick of this segment's first access in ``chunk``
+        (None when the chunk has no accesses for this segment)."""
+        lo = self._chunk_starts[chunk]
+        if lo == self._chunk_starts[chunk + 1]:
+            return None
+        return self._ticks[lo]
+
+    def replay_chunk(self, chunk: int) -> None:
+        """Replay one chunk's accesses under the current powered ways."""
+        lo = self._chunk_starts[chunk]
+        hi = self._chunk_starts[chunk + 1]
+        self.epoch_accesses += hi - lo
+        if lo == hi:
+            return
+        st = self.stats
+        window = self._window
+        powered = self.powered_ways
+        track_ranks = (hi - lo) >= self.min_rank_accesses
+        rank_hits = self.epoch_rank_hits
+        seqc = self._seqc
+        tagmap = self._tagmap
+        mget = tagmap.get
+        valid = self._valid
+        dirty = self._dirty
+        privw = self._privw
+        lastref = self._lastref
+        seqs = self._seqs
+        blockw = self._blockw
+        dirty_hi = self._dirty_hi
+        valid_hi = self._valid_hi
+        max_dh = self._max_dirty_hi
+        max_vh = self._max_valid_hi
+        misses = kernel_misses = demand_misses = hits = 0
+        evictions = writebacks = exp_inv = exp_wb = 0
+        ec = [0, 0, 0, 0]
+        for tick, block, base, priv, isw, dm in zip(
+            self._ticks[lo:hi], self._blocks[lo:hi], self._bases[lo:hi],
+            self._privs[lo:hi], self._writes[lo:hi], self._demand[lo:hi],
+        ):
+            seqc += 1
+            f = mget(block)
+            if f is not None:
+                if f - base >= powered:
+                    # The block sits in a power-gated way: unreachable,
+                    # so this access misses and the stale mapping dies.
+                    # (Invalid frames stay clean — the gating and
+                    # finalize scans rely on it.)
+                    self.gated_misses += 1
+                    valid[f] = 0
+                    dirty[f] = 0
+                    del tagmap[block]
+                elif window is not None and tick - lastref[f] > window:
+                    # Resident but decayed: a retention-caused miss.
+                    exp_inv += 1
+                    if dirty[f]:
+                        exp_wb += 1
+                        dirty[f] = 0
+                    valid[f] = 0
+                    del tagmap[block]
+                else:
+                    hits += 1
+                    if track_ranks:
+                        mine = seqs[f]
+                        rank = 0
+                        for x in seqs[base:base + powered]:
+                            if x > mine:
+                                rank += 1
+                        rank_hits[rank] += 1
+                    seqs[f] = seqc
+                    if isw:
+                        dirty[f] = 1
+                        lastref[f] = tick  # a store rewrites the cells
+                        w1 = f - base + 1
+                        if w1 > dirty_hi[base]:
+                            dirty_hi[base] = w1
+                            if w1 > max_dh:
+                                max_dh = w1
+                    continue
+            misses += 1
+            if priv:
+                kernel_misses += 1
+            if dm:
+                demand_misses += 1
+            end = base + powered
+            target = valid.find(0, base, end)
+            if target < 0:
+                expired = -1
+                if window is not None:
+                    for i in range(base, end):
+                        if tick - lastref[i] > window:
+                            expired = i
+                            break
+                if expired >= 0:
+                    # Reclaim a decayed frame: not an interference
+                    # eviction (data already gone).
+                    target = expired
+                    if dirty[target]:
+                        exp_wb += 1
+                    del tagmap[blockw[target]]
+                else:
+                    sub = seqs[base:end]
+                    target = base + sub.index(min(sub))
+                    evictions += 1
+                    ec[(privw[target] << 1) | priv] += 1
+                    if dirty[target]:
+                        writebacks += 1
+                    del tagmap[blockw[target]]
+            valid[target] = 1
+            blockw[target] = block
+            privw[target] = priv
+            dirty[target] = 1 if isw else 0
+            lastref[target] = tick
+            seqs[target] = seqc
+            tagmap[block] = target
+            w1 = target - base + 1
+            if w1 > valid_hi[base]:
+                valid_hi[base] = w1
+                if w1 > max_vh:
+                    max_vh = w1
+            if isw and w1 > dirty_hi[base]:
+                dirty_hi[base] = w1
+                if w1 > max_dh:
+                    max_dh = w1
+        self._seqc = seqc
+        self._max_dirty_hi = max_dh
+        self._max_valid_hi = max_vh
+        self.epoch_misses += misses
+        st.hits += hits
+        st.misses += misses
+        st.fills += misses
+        st.demand_misses += demand_misses
+        st.misses_by_priv[0] += misses - kernel_misses
+        st.misses_by_priv[1] += kernel_misses
+        st.evictions += evictions
+        st.writebacks += writebacks
+        st.expiry_invalidations += exp_inv
+        st.expiry_writebacks += exp_wb
+        cross = st.evictions_cross
+        cross[0][0] += ec[0]
+        cross[0][1] += ec[1]
+        cross[1][0] += ec[2]
+        cross[1][1] += ec[3]
 
 
 # ----------------------------------------------------------------------

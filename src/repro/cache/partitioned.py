@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.cache.set_assoc import AccessResult, SetAssociativeCache
 from repro.cache.stats import CacheStats
-from repro.config import CacheGeometry
 from repro.types import Privilege
 
 __all__ = ["PartitionedCache"]

@@ -34,9 +34,11 @@ _REFRESH_FRACTION = 0.8
 class AccessResult:
     """Outcome of one cache access (cheap value object).
 
-    ``victim_addr``/``victim_priv`` describe the dirty block written back
-    on this access, when ``writeback`` is True — the level above needs
-    the address to forward the write-back downstream.
+    ``victim_addr``/``victim_priv`` describe the block evicted by this
+    access (set whenever a valid victim was displaced, dirty or clean):
+    when ``writeback`` is True the level above needs the address to
+    forward the write-back downstream, and prefetch bookkeeping needs it
+    either way to retire tracking for blocks that leave the cache.
     """
 
     __slots__ = ("hit", "writeback", "expired", "hit_rank", "victim_addr", "victim_priv")
@@ -314,6 +316,8 @@ class SetAssociativeCache:
         if victim is not None:
             st.evictions += 1
             st.evictions_cross[victim.priv][priv] += 1
+            victim_addr = self._frame_addr(set_i, victim.tag)
+            victim_priv = victim.priv
             if self._is_expired(victim, tick):
                 self._retire_expired(victim)
             else:
@@ -321,8 +325,6 @@ class SetAssociativeCache:
                 if victim.dirty:
                     st.writebacks += 1
                     writeback = True
-                    victim_addr = self._frame_addr(set_i, victim.tag)
-                    victim_priv = victim.priv
             self._account_awake(victim, tick)
             del tagmap[victim.tag]
         new_entry = Entry(tag, priv, is_write, tick)

@@ -27,7 +27,13 @@ from repro.core.multi_retention import (
     USER_RETENTION_CLASS,
     multi_retention_design,
 )
-from repro.core.replay import FixedSegment, run_fixed_design
+from repro.core.pipeline import (
+    FixedSegment,
+    ReplaySession,
+    ResultAssembler,
+    SegmentOutcome,
+    run_fixed_design,
+)
 from repro.core.result import DesignResult, SegmentReport
 from repro.core.search import PartitionPoint, find_static_partition, sweep_partitions
 from repro.core.static_partition import (
@@ -51,6 +57,9 @@ __all__ = [
     "USER_RETENTION_CLASS",
     "multi_retention_design",
     "FixedSegment",
+    "ReplaySession",
+    "ResultAssembler",
+    "SegmentOutcome",
     "run_fixed_design",
     "DesignResult",
     "SegmentReport",

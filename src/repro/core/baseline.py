@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.cache.hierarchy import L2Stream
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import CacheGeometry, PlatformConfig
-from repro.core.replay import FixedSegment, run_fixed_design
+from repro.core.pipeline import FixedSegment, run_fixed_design
 from repro.core.result import DesignResult
 from repro.energy.technology import MemoryTechnology, sram
 
@@ -53,7 +53,7 @@ class BaselineDesign:
         DRAM model (see :mod:`repro.dram`); ``prefetcher`` optionally
         adds an L2 prefetcher (see :mod:`repro.cache.prefetch`).
         ``engine`` picks the replay path (``"auto"``/``"fast"``/
-        ``"reference"``, see :func:`~repro.core.replay.run_fixed_design`).
+        ``"reference"``, see :func:`~repro.core.pipeline.run_fixed_design`).
         """
         geometry = self.geometry if self.geometry is not None else platform.l2
         cache = SetAssociativeCache(geometry, self.policy, name="l2-shared")

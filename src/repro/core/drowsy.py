@@ -19,10 +19,10 @@ from __future__ import annotations
 from repro.cache.hierarchy import L2Stream
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import CacheGeometry, PlatformConfig
-from repro.core.result import DesignResult, SegmentReport
-from repro.energy.model import EnergyBreakdown, dram_energy_j
+from repro.core.pipeline import ReplaySession, ResultAssembler, SegmentOutcome
+from repro.core.result import DesignResult
+from repro.energy.model import EnergyBreakdown
 from repro.energy.technology import MemoryTechnology, sram
-from repro.timing.cpu import compute_timing
 
 __all__ = ["DrowsySRAMDesign", "DROWSY_LEAKAGE_SCALE", "DEFAULT_DROWSY_WINDOW"]
 
@@ -65,70 +65,67 @@ class DrowsySRAMDesign:
         self.policy = policy
         self.name = name
 
-    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
-        """Replay ``stream``; leakage splits into awake and drowsy parts."""
+    def run(
+        self, stream: L2Stream, platform: PlatformConfig, engine: str = "auto"
+    ) -> DesignResult:
+        """Replay ``stream``; leakage splits into awake and drowsy parts.
+
+        ``engine`` follows the shared contract (see
+        :func:`~repro.core.pipeline.run_fixed_design`); drowsy mode has
+        no vectorized path, so ``"fast"`` raises and ``"auto"`` always
+        replays through the reference engine.
+        """
         geometry = self.geometry if self.geometry is not None else platform.l2
+        session = ReplaySession(self.name, stream, engine)
+        session.dispatch_fast(
+            False, None, "per-line drowsy voltage tracking needs the per-access engine"
+        )
         cache = SetAssociativeCache(
             geometry, self.policy, drowsy_window=self.drowsy_window, name="l2-drowsy"
         )
-        for tick, addr, priv, is_write, is_demand in zip(
-            stream.ticks.tolist(), stream.addrs.tolist(), stream.privs.tolist(),
-            stream.writes.tolist(), stream.demand.tolist(),
-        ):
-            cache.access(addr, is_write, priv, tick, is_demand)
+        session.replay_routed(lambda priv: cache)
         cache.finalize(stream.duration_ticks)
 
         stats = cache.stats
+        assembler = ResultAssembler(session, platform)
         # wake-ups delay the demand accesses that find their line drowsy
-        extra_read = (
-            cache.drowsy_wakeups * WAKEUP_CYCLES / stats.demand_accesses
-            if stats.demand_accesses
-            else 0.0
-        )
-        timing = compute_timing(
-            platform,
-            instructions=stream.instructions,
-            duration_ticks=stream.duration_ticks,
-            l1_demand_misses=stream.l1_demand_misses,
-            l2_demand_misses=stats.demand_misses,
-            l2_extra_read_cycles=extra_read,
-            l2_extra_write_cycles=0.0,
-            l2_writes=stats.total_writes,
+        assembler.weigh_timing(
+            [(stats, self.tech)],
+            extra_read=(
+                cache.drowsy_wakeups * WAKEUP_CYCLES / stats.demand_accesses
+                if stats.demand_accesses
+                else 0.0
+            ),
+            extra_write=0.0,
         )
 
-        seconds = timing.seconds(platform)
         size = cache.size_bytes
-        total_byte_seconds = size * seconds
+        total_byte_seconds = size * assembler.seconds
         # exact awake integral from the engine, scaled (like the dynamic
         # design) for the stall/CPI dilation beyond trace ticks
-        dilation = timing.total_cycles / max(1, stream.duration_ticks)
         awake_byte_seconds = (
-            cache.awake_block_ticks * geometry.block_size * dilation / platform.clock_hz
+            cache.awake_block_ticks * geometry.block_size * assembler.dilation
+            / platform.clock_hz
         )
         awake_byte_seconds = min(awake_byte_seconds, total_byte_seconds)
         drowsy_byte_seconds = total_byte_seconds - awake_byte_seconds
+        weighted_byte_seconds = awake_byte_seconds + DROWSY_LEAKAGE_SCALE * drowsy_byte_seconds
         mb = 1024 * 1024
-        leakage_j = self.tech.leakage_mw_per_mb * 1e-3 * (
-            awake_byte_seconds + DROWSY_LEAKAGE_SCALE * drowsy_byte_seconds
-        ) / mb
+        leakage_j = self.tech.leakage_mw_per_mb * 1e-3 * weighted_byte_seconds / mb
         read_j = stats.accesses * self.tech.read_energy_nj(size) * 1e-9
         write_j = (stats.fills + stats.write_accesses) * self.tech.write_energy_nj(size) * 1e-9
-        energy = EnergyBreakdown(leakage_j, read_j, write_j, 0.0)
 
-        report = SegmentReport(
+        outcome = SegmentOutcome(
             name="shared",
-            tech_name=f"{self.tech.name}-drowsy",
-            size_bytes=size,
-            byte_seconds=awake_byte_seconds + DROWSY_LEAKAGE_SCALE * drowsy_byte_seconds,
+            tech=self.tech,
             stats=stats,
-            energy=energy,
+            size_bytes=size,
+            byte_seconds=weighted_byte_seconds,
+            energy=EnergyBreakdown(leakage_j, read_j, write_j, 0.0),
+            tech_name=f"{self.tech.name}-drowsy",
         )
-        return DesignResult(
-            design=self.name,
-            app=stream.name,
-            segments=(report,),
-            timing=timing,
-            dram_j=dram_energy_j(stats.demand_misses, stats.writebacks),
+        return assembler.finish(
+            [outcome],
             extras={
                 "drowsy_wakeups": cache.drowsy_wakeups,
                 "awake_fraction": awake_byte_seconds / total_byte_seconds

@@ -25,13 +25,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cache.hierarchy import L2Stream
+from repro.cache.replacement import LRUPolicy
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import PlatformConfig
-from repro.core.result import DesignResult, SegmentReport
-from repro.energy.model import dram_energy_j, segment_energy
+from repro.core.pipeline import ReplaySession, ResultAssembler, SegmentOutcome
+from repro.core.result import DesignResult
 from repro.energy.technology import MemoryTechnology, stt_ram
-from repro.timing.cpu import compute_timing
 from repro.types import Privilege
 
 __all__ = ["DynamicControllerConfig", "DynamicPartitionDesign"]
@@ -193,108 +195,171 @@ class DynamicPartitionDesign:
             seg.resizes += 1
         cache.begin_epoch()
 
-    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
-        """Replay ``stream`` with epoch-based repartitioning."""
-        cfg = self.config
-        user = self._make_segment(
-            platform, "user", cfg.start_user_ways, cfg.max_user_ways, self.user_tech
+    def _fast_qualifies(self) -> bool:
+        """Cheap preconditions for the epoch-chunked fast kernel."""
+        if isinstance(self.policy, str):
+            if self.policy != "lru":
+                return False
+        elif type(self.policy) is not LRUPolicy:
+            return False
+        return all(
+            tech.retention is None or self.refresh_mode == "invalidate"
+            for tech in (self.user_tech, self.kernel_tech)
         )
-        kernel = self._make_segment(
-            platform, "kernel", cfg.start_kernel_ways, cfg.max_kernel_ways, self.kernel_tech
+
+    def _make_fast_segment(
+        self, fastsim, platform: PlatformConfig, label: str, start_ways: int,
+        max_ways: int, tech: MemoryTechnology,
+    ) -> _Segment:
+        """Mirror of :meth:`_make_segment` over the epoch-chunked kernel."""
+        geometry = platform.l2.with_ways(max_ways)
+        retention = tech.retention_ticks(platform.clock_hz)
+        cache = fastsim.EpochReplaySegment(
+            geometry,
+            retention_ticks=retention,
+            refresh_mode="none" if retention is None else self.refresh_mode,
+            retains_when_gated=tech.non_volatile,
+            min_rank_accesses=self.config.decision_accesses,
+            name=f"l2-{label}",
+        )
+        cache.set_powered_ways(start_ways, 0)
+        bytes_per_way = geometry.num_sets * geometry.block_size
+        return _Segment(label, cache, tech, max_ways, bytes_per_way)
+
+    def _run_fast(self, fastsim, stream: L2Stream, platform: PlatformConfig, out: list) -> bool:
+        """Epoch-chunked replay through the vectorized kernel.
+
+        Chunk ``k`` holds the accesses the reference loop replays between
+        controller boundaries ``k*epoch_ticks`` and ``(k+1)*epoch_ticks``
+        — the running tick maximum decides the boundary crossings, so a
+        non-monotonic trace chunks exactly like the reference's lazy
+        ``while tick >= next_epoch`` stepping.  Both segments share the
+        boundaries; each replays its own rows chunk by chunk, with
+        controller steps (and timeline samples) in between and
+        wake-on-first-access applied before a chunk replays.
+        """
+        cfg = self.config
+        user = self._make_fast_segment(
+            fastsim, platform, "user", cfg.start_user_ways, cfg.max_user_ways, self.user_tech
+        )
+        kernel = self._make_fast_segment(
+            fastsim, platform, "kernel", cfg.start_kernel_ways, cfg.max_kernel_ways,
+            self.kernel_tech,
         )
         segments = [user, kernel]
-        kernel_priv = int(Privilege.KERNEL)
-
         timeline_ticks: list[int] = [0]
         timeline_user: list[int] = [user.cache.powered_ways]
         timeline_kernel: list[int] = [kernel.cache.powered_ways]
-
-        next_epoch = cfg.epoch_ticks
-        ticks = stream.ticks.tolist()
-        addrs = stream.addrs.tolist()
-        privs = stream.privs.tolist()
-        writes = stream.writes.tolist()
-        demand = stream.demand.tolist()
-        for tick, addr, priv, is_write, is_demand in zip(ticks, addrs, privs, writes, demand):
-            while tick >= next_epoch:
+        if len(stream.ticks):
+            epoch_idx = np.maximum.accumulate(stream.ticks) // cfg.epoch_ticks
+            n_chunks = int(epoch_idx[-1]) + 1
+            kernel_rows = stream.privs == np.uint8(Privilege.KERNEL)
+            for seg, rows in ((user, ~kernel_rows), (kernel, kernel_rows)):
+                seg.cache.load(
+                    stream.ticks[rows], stream.addrs[rows], stream.privs[rows],
+                    stream.writes[rows], stream.demand[rows], epoch_idx[rows], n_chunks,
+                )
+            for k in range(n_chunks):
+                if k:
+                    boundary = k * cfg.epoch_ticks
+                    for seg in segments:
+                        self._controller_step(seg, boundary)
+                    timeline_ticks.append(boundary)
+                    timeline_user.append(user.cache.powered_ways)
+                    timeline_kernel.append(kernel.cache.powered_ways)
                 for seg in segments:
-                    self._controller_step(seg, next_epoch)
-                timeline_ticks.append(next_epoch)
+                    first_tick = seg.cache.chunk_first_tick(k)
+                    if first_tick is not None:
+                        seg.wake(first_tick)
+                        seg.cache.replay_chunk(k)
+        out.append((user, kernel, timeline_ticks, timeline_user, timeline_kernel))
+        return True
+
+    def run(
+        self, stream: L2Stream, platform: PlatformConfig, engine: str = "auto"
+    ) -> DesignResult:
+        """Replay ``stream`` with epoch-based repartitioning.
+
+        ``engine`` picks the replay path under the shared contract
+        (``"auto"``/``"fast"``/``"reference"``, see
+        :func:`~repro.core.pipeline.run_fixed_design`): the design
+        qualifies for the vectorized epoch-chunked kernel when its
+        replacement policy is true LRU and every segment technology is
+        retention-free or handled with fixed-window ``invalidate``.
+        """
+        cfg = self.config
+        session = ReplaySession(self.name, stream, engine)
+        fast_out: list = []
+        ran_fast = session.dispatch_fast(
+            self._fast_qualifies(),
+            lambda fastsim: self._run_fast(fastsim, stream, platform, fast_out),
+            "needs LRU replacement and retention 'none'/'invalidate' with "
+            "the fixed-window model",
+        )
+        if ran_fast:
+            user, kernel, timeline_ticks, timeline_user, timeline_kernel = fast_out[0]
+            segments = [user, kernel]
+        else:
+            user = self._make_segment(
+                platform, "user", cfg.start_user_ways, cfg.max_user_ways, self.user_tech
+            )
+            kernel = self._make_segment(
+                platform, "kernel", cfg.start_kernel_ways, cfg.max_kernel_ways, self.kernel_tech
+            )
+            segments = [user, kernel]
+            kernel_priv = int(Privilege.KERNEL)
+
+            timeline_ticks = [0]
+            timeline_user = [user.cache.powered_ways]
+            timeline_kernel = [kernel.cache.powered_ways]
+
+            def on_boundary(tick: int) -> None:
+                for seg in segments:
+                    self._controller_step(seg, tick)
+                timeline_ticks.append(tick)
                 timeline_user.append(user.cache.powered_ways)
                 timeline_kernel.append(kernel.cache.powered_ways)
-                next_epoch += cfg.epoch_ticks
-            seg = kernel if priv == kernel_priv else user
-            seg.wake(tick)
-            seg.cache.access(addr, is_write, priv, tick, is_demand)
+
+            session.replay_epochs(
+                lambda priv: kernel if priv == kernel_priv else user,
+                cfg.epoch_ticks,
+                on_boundary,
+            )
 
         final_tick = stream.duration_ticks
         for seg in segments:
             seg.integrate_to(final_tick)
             seg.cache.finalize(final_tick)
 
-        total_demand = sum(s.cache.stats.demand_accesses for s in segments)
-        extra_read = (
-            sum(s.cache.stats.demand_accesses * s.tech.extra_read_cycles for s in segments)
-            / total_demand
-            if total_demand
-            else 0.0
-        )
-        l2_writes = sum(s.cache.stats.total_writes for s in segments)
-        extra_write = (
-            sum(s.cache.stats.total_writes * s.tech.extra_write_cycles for s in segments)
-            / l2_writes
-            if l2_writes
-            else 0.0
-        )
-        demand_misses = sum(s.cache.stats.demand_misses for s in segments)
-        timing = compute_timing(
-            platform,
-            instructions=stream.instructions,
-            duration_ticks=stream.duration_ticks,
-            l1_demand_misses=stream.l1_demand_misses,
-            l2_demand_misses=demand_misses,
-            l2_extra_read_cycles=extra_read,
-            l2_extra_write_cycles=extra_write,
-            l2_writes=l2_writes,
-        )
-
-        # Leakage integrates over wall-clock time; ticks cover the trace
-        # span, so scale the byte-tick integral by the stall/CPI dilation.
-        dilation = timing.total_cycles / max(1, stream.duration_ticks)
-        reports = []
-        for seg in segments:
-            max_size = seg.max_ways * seg.bytes_per_way
-            byte_seconds = seg.byte_ticks * dilation / platform.clock_hz
-            # Per-access energy scales with the powered array a lookup
-            # actually touches; use the time-weighted mean powered size
-            # (never below one way).
-            mean_powered = max(
-                seg.bytes_per_way, seg.byte_ticks // max(1, stream.duration_ticks)
+        assembler = ResultAssembler(session, platform)
+        assembler.weigh_timing([(seg.cache.stats, seg.tech) for seg in segments])
+        # Leakage integrates over wall-clock time; the byte-tick integral
+        # covers trace ticks, so it is scaled by the stall/CPI dilation.
+        # Per-access energy scales with the powered array a lookup
+        # actually touches: the time-weighted mean powered size (never
+        # below one way), not the provisioned maximum.
+        outcomes = [
+            SegmentOutcome(
+                name=seg.name,
+                tech=seg.tech,
+                stats=seg.cache.stats,
+                size_bytes=seg.max_ways * seg.bytes_per_way,
+                byte_seconds=seg.byte_ticks * assembler.dilation / platform.clock_hz,
+                energy_size_bytes=max(
+                    seg.bytes_per_way, seg.byte_ticks // max(1, stream.duration_ticks)
+                ),
             )
-            reports.append(
-                SegmentReport(
-                    name=seg.name,
-                    tech_name=seg.tech.name,
-                    size_bytes=max_size,
-                    byte_seconds=byte_seconds,
-                    stats=seg.cache.stats,
-                    energy=segment_energy(seg.cache.stats, seg.tech, mean_powered, byte_seconds),
-                )
-            )
-        dram_writes = sum(
-            s.cache.stats.writebacks + s.cache.stats.expiry_writebacks for s in segments
-        )
-        return DesignResult(
-            design=self.name,
-            app=stream.name,
-            segments=tuple(reports),
-            timing=timing,
-            dram_j=dram_energy_j(demand_misses, dram_writes),
+            for seg in segments
+        ]
+        return assembler.finish(
+            outcomes,
             extras={
                 "timeline_ticks": timeline_ticks,
                 "timeline_user_ways": timeline_user,
                 "timeline_kernel_ways": timeline_kernel,
                 "user_resizes": user.resizes,
                 "kernel_resizes": kernel.resizes,
+                "user_byte_ticks": user.byte_ticks,
+                "kernel_byte_ticks": kernel.byte_ticks,
             },
         )

@@ -21,10 +21,9 @@ from __future__ import annotations
 from repro.cache.hierarchy import L2Stream
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import PlatformConfig
-from repro.core.result import DesignResult, SegmentReport
-from repro.energy.model import dram_energy_j, segment_energy
+from repro.core.pipeline import ReplaySession, ResultAssembler, SegmentOutcome
+from repro.core.result import DesignResult
 from repro.energy.technology import MemoryTechnology, sram, stt_ram
-from repro.timing.cpu import compute_timing
 from repro.types import Privilege
 
 __all__ = ["HybridPartitionDesign"]
@@ -57,6 +56,7 @@ class _HybridSegment:
             refresh_mode="none" if retention is None else "invalidate",
             name=f"l2-{label}-stt",
         )
+        self._block_mask = ~(platform.l2.block_size - 1)
         self.migrate_threshold = 2
         self._write_counts: dict[int, int] = {}
         self.migrations = 0
@@ -78,7 +78,7 @@ class _HybridSegment:
             # count writes per block; only write-*intensive* blocks earn
             # migration — migrating on the first write thrashes the small
             # SRAM part with blocks written once and read forever after
-            block = addr & ~63
+            block = addr & self._block_mask
             count = self._write_counts.get(block, 0) + 1
             if count < self.migrate_threshold:
                 self._write_counts[block] = count
@@ -133,8 +133,20 @@ class HybridPartitionDesign:
         self.policy = policy
         self.name = name
 
-    def run(self, stream: L2Stream, platform: PlatformConfig) -> DesignResult:
-        """Replay ``stream`` through the two hybrid segments."""
+    def run(
+        self, stream: L2Stream, platform: PlatformConfig, engine: str = "auto"
+    ) -> DesignResult:
+        """Replay ``stream`` through the two hybrid segments.
+
+        ``engine`` follows the shared contract (see
+        :func:`~repro.core.pipeline.run_fixed_design`); block migration
+        between parts has no vectorized path, so ``"fast"`` raises and
+        ``"auto"`` always replays through the reference engine.
+        """
+        session = ReplaySession(self.name, stream, engine)
+        session.dispatch_fast(
+            False, None, "cross-part block migration needs the per-access engine"
+        )
         sram_tech = sram()
         stt_tech = stt_ram(self.stt_retention)
         user = _HybridSegment("user", platform, *self.user_split,
@@ -142,59 +154,18 @@ class HybridPartitionDesign:
         kernel = _HybridSegment("kernel", platform, *self.kernel_split,
                                 sram_tech, stt_tech, self.policy)
         kernel_priv = int(Privilege.KERNEL)
-
-        for tick, addr, priv, is_write, is_demand in zip(
-            stream.ticks.tolist(), stream.addrs.tolist(), stream.privs.tolist(),
-            stream.writes.tolist(), stream.demand.tolist(),
-        ):
-            seg = kernel if priv == kernel_priv else user
-            seg.access(addr, is_write, priv, tick, is_demand)
+        session.replay_routed(lambda priv: kernel if priv == kernel_priv else user)
 
         parts = list(user.parts()) + list(kernel.parts())
         for _, cache, _ in parts:
             cache.finalize(stream.duration_ticks)
 
-        total_demand = sum(c.stats.demand_accesses for _, c, _ in parts)
-        extra_read = (
-            sum(c.stats.demand_accesses * t.extra_read_cycles for _, c, t in parts)
-            / total_demand if total_demand else 0.0
-        )
-        l2_writes = sum(c.stats.total_writes for _, c, _ in parts)
-        extra_write = (
-            sum(c.stats.total_writes * t.extra_write_cycles for _, c, t in parts)
-            / l2_writes if l2_writes else 0.0
-        )
-        demand_misses = sum(c.stats.demand_misses for _, c, _ in parts)
-        timing = compute_timing(
-            platform,
-            instructions=stream.instructions,
-            duration_ticks=stream.duration_ticks,
-            l1_demand_misses=stream.l1_demand_misses,
-            l2_demand_misses=demand_misses,
-            l2_extra_read_cycles=extra_read,
-            l2_extra_write_cycles=extra_write,
-            l2_writes=l2_writes,
-        )
-
-        seconds = timing.seconds(platform)
-        reports = []
-        for part_name, cache, tech in parts:
-            size = cache.size_bytes
-            reports.append(SegmentReport(
-                name=part_name,
-                tech_name=tech.name,
-                size_bytes=size,
-                byte_seconds=size * seconds,
-                stats=cache.stats,
-                energy=segment_energy(cache.stats, tech, size, size * seconds),
-            ))
-        dram_writes = sum(
-            c.stats.writebacks + c.stats.expiry_writebacks for _, c, _ in parts
-        )
-        return DesignResult(
-            design=self.name,
-            app=stream.name,
-            segments=tuple(reports),
-            timing=timing,
-            dram_j=dram_energy_j(demand_misses, dram_writes),
+        assembler = ResultAssembler(session, platform)
+        assembler.weigh_timing([(cache.stats, tech) for _, cache, tech in parts])
+        return assembler.finish(
+            [
+                SegmentOutcome(part_name, tech, cache.stats, cache.size_bytes)
+                for part_name, cache, tech in parts
+            ],
+            extras={"migrations": user.migrations + kernel.migrations},
         )

@@ -1,0 +1,443 @@
+"""The shared design-execution pipeline.
+
+Every L2 design in :mod:`repro.core` — the fixed-topology family
+(baseline, static partition, multi-retention) as well as the dynamic,
+drowsy and hybrid designs — executes through this module:
+
+* :class:`ReplaySession` owns the decoded access stream, the
+  ``engine="auto"|"fast"|"reference"`` dispatch contract (including the
+  ``REPRO_FASTSIM`` kill switch and the recorded ``sim_engine``), and
+  the per-access reference loops (fixed, routed, and epoch-controlled).
+* :class:`ResultAssembler` owns everything downstream of replay: the
+  demand/write-weighted technology timing penalties, the
+  :class:`~repro.core.result.SegmentReport` assembly, the DRAM energy
+  charge and the ``extras`` conventions.
+
+``compute_timing`` / ``segment_energy`` / ``dram_energy_j`` are invoked
+from exactly this module under ``repro.core`` — adding a design means
+writing its replay logic, not re-deriving its accounting.  Designs with
+non-default accounting feed overrides through :class:`SegmentOutcome`
+(the dynamic design's powered-capacity integral, the drowsy design's
+awake/drowsy leakage split) instead of assembling results by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.hierarchy import L2Stream
+from repro.cache.prefetch import Prefetcher
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.config import PlatformConfig
+from repro.core.result import DesignResult, SegmentReport
+from repro.dram.model import DRAMModel
+from repro.energy.model import EnergyBreakdown, dram_energy_j, segment_energy
+from repro.energy.technology import MemoryTechnology
+from repro.timing.cpu import TimingResult, compute_timing
+
+__all__ = [
+    "ENGINES",
+    "FixedSegment",
+    "ReplaySession",
+    "ResultAssembler",
+    "SegmentOutcome",
+    "run_fixed_design",
+]
+
+#: The replay-engine contract every design's ``run`` accepts.
+ENGINES = ("auto", "fast", "reference")
+
+
+class FixedSegment:
+    """Pairing of a segment cache with its array technology."""
+
+    def __init__(self, name: str, cache: SetAssociativeCache, tech: MemoryTechnology) -> None:
+        self.name = name
+        self.cache = cache
+        self.tech = tech
+
+
+class ReplaySession:
+    """One design execution over one stream: decode + engine dispatch.
+
+    A session is created with the caller's ``engine`` choice, validated
+    once.  The design then asks :meth:`dispatch_fast` whether to take
+    the vectorized kernel (recording ``sim_engine`` and enforcing the
+    ``"fast"`` contract), and — on the reference path — replays through
+    one of the shared per-access loops below.
+    """
+
+    def __init__(self, design_name: str, stream: L2Stream, engine: str = "auto") -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be 'auto', 'fast' or 'reference', got {engine!r}")
+        self.design_name = design_name
+        self.stream = stream
+        self.engine = engine
+        self.sim_engine = "reference"
+
+    # ------------------------------------------------------------------
+    # engine dispatch
+
+    def dispatch_fast(self, qualifies: bool, runner, requirement: str) -> bool:
+        """Try the fast kernel under the engine contract.
+
+        Args:
+            qualifies: Design-level precondition for the vectorized
+                kernel (cheap checks the design can decide upfront).
+            runner: Callable receiving the :mod:`repro.cache.fastsim`
+                module; performs the fast replay and returns True on
+                success (False leaves every cache untouched for the
+                reference path).  ``None`` means the design has no fast
+                path at all.
+            requirement: Human-readable qualification summary used in
+                the ``engine="fast"`` error message.
+
+        Returns:
+            True when the fast kernel ran (``sim_engine`` becomes
+            ``"fastsim"``); False when the caller must run its reference
+            loop.  Raises ``ValueError`` when ``engine="fast"`` was
+            requested but the design disqualifies.
+        """
+        if self.engine != "reference" and qualifies and runner is not None:
+            from repro.cache import fastsim
+
+            if (self.engine == "fast" or fastsim.enabled()) and runner(fastsim):
+                self.sim_engine = "fastsim"
+        if self.engine == "fast" and self.sim_engine != "fastsim":
+            raise ValueError(
+                f"design {self.design_name!r} does not qualify for the fast kernel "
+                f"({requirement})"
+            )
+        return self.sim_engine == "fastsim"
+
+    # ------------------------------------------------------------------
+    # the reference loops
+
+    def rows(self):
+        """Decode the stream columns once into plain Python rows."""
+        s = self.stream
+        return zip(
+            s.ticks.tolist(), s.addrs.tolist(), s.privs.tolist(),
+            s.writes.tolist(), s.demand.tolist(),
+        )
+
+    def replay_routed(self, route: Callable[[int], object]) -> None:
+        """Reference loop for designs whose routing captures all logic.
+
+        ``route(priv)`` returns the object serving the access — anything
+        with the ``access(addr, is_write, priv, tick, demand)`` protocol
+        (a :class:`SetAssociativeCache` or a composite like the hybrid
+        segment).  The caller finalizes its caches itself.
+        """
+        for tick, addr, priv, is_write, is_demand in self.rows():
+            route(priv).access(addr, is_write, priv, tick, is_demand)
+
+    def replay_epochs(
+        self,
+        route: Callable[[int], object],
+        epoch_ticks: int,
+        on_boundary: Callable[[int], None],
+    ) -> None:
+        """Reference loop for epoch-controlled designs.
+
+        ``on_boundary(tick)`` runs at every crossed epoch boundary
+        (lazily — boundaries beyond the last access never fire);
+        ``route(priv)`` returns a segment exposing wake-on-first-access
+        (``wake(tick)``) and a ``cache.access`` method.
+        """
+        next_epoch = epoch_ticks
+        for tick, addr, priv, is_write, is_demand in self.rows():
+            while tick >= next_epoch:
+                on_boundary(next_epoch)
+                next_epoch += epoch_ticks
+            seg = route(priv)
+            seg.wake(tick)
+            seg.cache.access(addr, is_write, priv, tick, is_demand)
+
+    def replay_fixed(
+        self,
+        segments: list[FixedSegment],
+        router: Callable[[int], SetAssociativeCache],
+        dram_model: DRAMModel | None = None,
+        prefetcher: Prefetcher | None = None,
+    ) -> tuple[int, int, int]:
+        """Reference loop for fixed-geometry designs.
+
+        Interleaves the optional bank-level DRAM model and L2 prefetcher
+        with the accesses, finalizes every segment, and returns
+        ``(dram_read_stall, prefetch_issued, prefetch_useful)``.
+
+        A prefetched block only counts as useful while it is still
+        resident: ``pending_prefetches`` entries are pruned whenever the
+        block is evicted (the fill's victim) or re-misses (proof the
+        prefetched copy is gone), so the set stays bounded by the cache
+        capacity on arbitrarily long traces and a block re-fetched on
+        demand can never credit the stale prefetch that once covered it.
+        """
+        block_size = segments[0].cache.geometry.block_size
+        block_mask = ~(block_size - 1)
+        pending_prefetches: set[int] = set()
+        dram_read_stall = 0
+        prefetch_issued = 0
+        prefetch_useful = 0
+        for tick, addr, priv, is_write, is_demand in self.rows():
+            cache = router(priv)
+            result = cache.access(addr, is_write, priv, tick, is_demand)
+            if result.hit:
+                if pending_prefetches and is_demand:
+                    block = addr & block_mask
+                    if block in pending_prefetches:
+                        prefetch_useful += 1
+                        pending_prefetches.discard(block)
+                continue
+            if pending_prefetches:
+                pending_prefetches.discard(addr & block_mask)
+                if result.victim_addr is not None:
+                    pending_prefetches.discard(result.victim_addr)
+            if is_demand and dram_model is not None:
+                dram_read_stall += dram_model.access(addr, tick)
+            if result.writeback and dram_model is not None:
+                dram_model.access(result.victim_addr, tick, is_write=True)
+            if is_demand and prefetcher is not None:
+                for target in prefetcher.on_miss(addr):
+                    pf = cache.access(target, False, priv, tick, demand=False)
+                    prefetch_issued += 1
+                    if not pf.hit:
+                        if pf.victim_addr is not None:
+                            pending_prefetches.discard(pf.victim_addr)
+                        pending_prefetches.add(target & block_mask)
+                        if dram_model is not None:
+                            dram_model.access(target, tick)
+                        if pf.writeback and dram_model is not None:
+                            dram_model.access(pf.victim_addr, tick, is_write=True)
+        for seg in segments:
+            seg.cache.finalize(self.stream.duration_ticks)
+        return dram_read_stall, prefetch_issued, prefetch_useful
+
+
+@dataclass
+class SegmentOutcome:
+    """One segment's simulated outcome, ready for report assembly.
+
+    Defaults model a fixed-size segment: leakage integrates the full
+    ``size_bytes`` over the run and per-access energy scales with it.
+    Designs with non-trivial accounting override the relevant fields:
+
+    * ``byte_seconds`` — powered-capacity integral (dynamic design) or
+      a drowsy-weighted equivalent;
+    * ``energy_size_bytes`` — the array size per-access energy scales
+      with, when it differs from the provisioned ``size_bytes``;
+    * ``energy`` — a fully custom :class:`EnergyBreakdown` (drowsy);
+    * ``tech_name`` — report label override.
+    """
+
+    name: str
+    tech: MemoryTechnology
+    stats: CacheStats
+    size_bytes: int
+    byte_seconds: float | None = None
+    energy_size_bytes: int | None = None
+    energy: EnergyBreakdown | None = None
+    tech_name: str | None = None
+
+
+class ResultAssembler:
+    """Turns replayed segments into a :class:`DesignResult`.
+
+    Two phases, because energy-time integrals need the timing first:
+    :meth:`weigh_timing` folds the per-segment technology penalties into
+    one :class:`TimingResult`, then :meth:`finish` builds the segment
+    reports, charges DRAM energy and stamps the uniform extras
+    (``sim_engine`` in every design's result).
+    """
+
+    def __init__(self, session: ReplaySession, platform: PlatformConfig) -> None:
+        self.session = session
+        self.stream = session.stream
+        self.platform = platform
+        self.timing: TimingResult | None = None
+        self._demand_misses = 0
+
+    def weigh_timing(
+        self,
+        parts: list[tuple[CacheStats, MemoryTechnology]],
+        *,
+        extra_read: float | None = None,
+        extra_write: float | None = None,
+        dram_stall_override: float | None = None,
+    ) -> TimingResult:
+        """Compute the design's timing from its (stats, tech) parts.
+
+        The default technology penalties are the demand-access-weighted
+        ``extra_read_cycles`` and the array-write-weighted
+        ``extra_write_cycles`` across the parts; designs with bespoke
+        read penalties (drowsy wake-ups) pass ``extra_read`` directly.
+        """
+        stream = self.stream
+        total_demand = sum(st.demand_accesses for st, _ in parts)
+        if extra_read is None:
+            extra_read = (
+                sum(st.demand_accesses * t.extra_read_cycles for st, t in parts) / total_demand
+                if total_demand
+                else 0.0
+            )
+        l2_writes = sum(st.total_writes for st, _ in parts)
+        if extra_write is None:
+            extra_write = (
+                sum(st.total_writes * t.extra_write_cycles for st, t in parts) / l2_writes
+                if l2_writes
+                else 0.0
+            )
+        self._demand_misses = sum(st.demand_misses for st, _ in parts)
+        self.timing = compute_timing(
+            self.platform,
+            instructions=stream.instructions,
+            duration_ticks=stream.duration_ticks,
+            l1_demand_misses=stream.l1_demand_misses,
+            l2_demand_misses=self._demand_misses,
+            l2_extra_read_cycles=extra_read,
+            l2_extra_write_cycles=extra_write,
+            l2_writes=l2_writes,
+            dram_stall_override=dram_stall_override,
+        )
+        return self.timing
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration of the run (after :meth:`weigh_timing`)."""
+        return self.timing.seconds(self.platform)
+
+    @property
+    def dilation(self) -> float:
+        """Stall/CPI dilation of wall-clock cycles beyond trace ticks.
+
+        Leakage integrates over wall-clock time while replay integrals
+        are in ticks; multiplying a tick integral by this factor (then
+        dividing by the clock) converts it to seconds.
+        """
+        return self.timing.total_cycles / max(1, self.stream.duration_ticks)
+
+    def finish(
+        self,
+        outcomes: list[SegmentOutcome],
+        *,
+        dram_model: DRAMModel | None = None,
+        extras: dict | None = None,
+    ) -> DesignResult:
+        """Assemble the final :class:`DesignResult` from the outcomes."""
+        if self.timing is None:
+            raise RuntimeError("weigh_timing must run before finish")
+        seconds = self.seconds
+        reports = []
+        for oc in outcomes:
+            byte_seconds = (
+                oc.byte_seconds if oc.byte_seconds is not None else oc.size_bytes * seconds
+            )
+            if oc.energy is not None:
+                energy = oc.energy
+            else:
+                energy_size = (
+                    oc.energy_size_bytes if oc.energy_size_bytes is not None else oc.size_bytes
+                )
+                energy = segment_energy(oc.stats, oc.tech, energy_size, byte_seconds)
+            reports.append(
+                SegmentReport(
+                    name=oc.name,
+                    tech_name=oc.tech_name if oc.tech_name is not None else oc.tech.name,
+                    size_bytes=oc.size_bytes,
+                    byte_seconds=byte_seconds,
+                    stats=oc.stats,
+                    energy=energy,
+                )
+            )
+        all_extras = dict(extras) if extras else {}
+        if dram_model is not None:
+            dram_j = dram_model.energy_j(self.platform.seconds(self.timing.busy_cycles))
+            all_extras["dram_stats"] = dram_model.stats
+        else:
+            dram_writes = sum(
+                oc.stats.writebacks + oc.stats.expiry_writebacks for oc in outcomes
+            )
+            dram_j = dram_energy_j(self._demand_misses, dram_writes)
+        all_extras["sim_engine"] = self.session.sim_engine
+        return DesignResult(
+            design=self.session.design_name,
+            app=self.stream.name,
+            segments=tuple(reports),
+            timing=self.timing,
+            dram_j=dram_j,
+            extras=all_extras,
+        )
+
+
+def run_fixed_design(
+    design_name: str,
+    stream: L2Stream,
+    platform: PlatformConfig,
+    segments: list[FixedSegment],
+    router: Callable[[int], SetAssociativeCache],
+    dram_model: DRAMModel | None = None,
+    prefetcher: Prefetcher | None = None,
+    engine: str = "auto",
+) -> DesignResult:
+    """Replay ``stream`` through fixed segments and assemble the result.
+
+    Args:
+        design_name: Label recorded in the result.
+        stream: L1-filtered L2 access stream.
+        platform: Platform latencies/clock for timing and energy time.
+        segments: All segments with their technologies.
+        router: Maps an access privilege to the segment cache serving it.
+        dram_model: Optional bank-level DRAM model.  When given, every
+            L2 demand miss and every write-back to memory goes through
+            it; measured latencies replace the platform's flat DRAM
+            latency and its energy model replaces the flat per-transfer
+            charge.
+        prefetcher: Optional L2 prefetcher.  Demand misses train it;
+            its proposals are installed as non-demand fills into the
+            missing access's segment (so in a partitioned design a
+            kernel miss can only pollute the kernel segment).
+        engine: ``"auto"`` replays through the vectorized fast kernel
+            (:mod:`repro.cache.fastsim`) when the whole design qualifies
+            — LRU segments, no gating/drowsy, retention ``none`` or
+            ``invalidate``, and neither a DRAM model nor a prefetcher
+            (both need per-access interleaving) — falling back to the
+            reference engine otherwise.  ``"fast"`` requires the kernel
+            and raises when the design disqualifies; ``"reference"``
+            forces the per-access engine.  The chosen path is recorded
+            in ``DesignResult.extras["sim_engine"]``.
+    """
+    session = ReplaySession(design_name, stream, engine)
+    dram_read_stall = 0
+    prefetch_issued = 0
+    prefetch_useful = 0
+    ran_fast = session.dispatch_fast(
+        dram_model is None and prefetcher is None,
+        lambda fastsim: fastsim.try_run_fixed(stream, segments, router),
+        "needs LRU segments, retention 'none'/'invalidate', no DRAM "
+        "model, no prefetcher",
+    )
+    if not ran_fast:
+        dram_read_stall, prefetch_issued, prefetch_useful = session.replay_fixed(
+            segments, router, dram_model, prefetcher
+        )
+
+    assembler = ResultAssembler(session, platform)
+    assembler.weigh_timing(
+        [(seg.cache.stats, seg.tech) for seg in segments],
+        dram_stall_override=float(dram_read_stall) if dram_model is not None else None,
+    )
+    extras: dict = {}
+    if prefetcher is not None:
+        extras["prefetch_issued"] = prefetch_issued
+        extras["prefetch_useful"] = prefetch_useful
+    return assembler.finish(
+        [
+            SegmentOutcome(seg.name, seg.tech, seg.cache.stats, seg.cache.size_bytes)
+            for seg in segments
+        ],
+        dram_model=dram_model,
+        extras=extras,
+    )

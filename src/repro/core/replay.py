@@ -1,194 +1,12 @@
-"""Shared L2-stream replay machinery for fixed-topology designs.
+"""Backwards-compatible aliases for the shared execution pipeline.
 
-Both the shared baseline and the static partitioned designs are "fixed"
-— their segment sizes never change during a run — so one replay routine
-serves them.  The dynamic design has its own loop (epoch logic lives in
-:mod:`repro.core.dynamic_partition`).
+The fixed-design replay entry points historically lived here; the logic
+now sits in :mod:`repro.core.pipeline` (shared by *all* designs, fixed
+and adaptive alike).  Import from the pipeline in new code.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.cache.hierarchy import L2Stream
-from repro.cache.prefetch import Prefetcher
-from repro.cache.set_assoc import SetAssociativeCache
-from repro.config import PlatformConfig
-from repro.core.result import DesignResult, SegmentReport
-from repro.dram.model import DRAMModel
-from repro.energy.model import dram_energy_j, segment_energy
-from repro.energy.technology import MemoryTechnology
-from repro.timing.cpu import compute_timing
+from repro.core.pipeline import FixedSegment, run_fixed_design
 
 __all__ = ["FixedSegment", "run_fixed_design"]
-
-
-class FixedSegment:
-    """Pairing of a segment cache with its array technology."""
-
-    def __init__(self, name: str, cache: SetAssociativeCache, tech: MemoryTechnology) -> None:
-        self.name = name
-        self.cache = cache
-        self.tech = tech
-
-
-def run_fixed_design(
-    design_name: str,
-    stream: L2Stream,
-    platform: PlatformConfig,
-    segments: list[FixedSegment],
-    router: Callable[[int], SetAssociativeCache],
-    dram_model: DRAMModel | None = None,
-    prefetcher: Prefetcher | None = None,
-    engine: str = "auto",
-) -> DesignResult:
-    """Replay ``stream`` through fixed segments and assemble the result.
-
-    Args:
-        design_name: Label recorded in the result.
-        stream: L1-filtered L2 access stream.
-        platform: Platform latencies/clock for timing and energy time.
-        segments: All segments with their technologies.
-        router: Maps an access privilege to the segment cache serving it.
-        dram_model: Optional bank-level DRAM model.  When given, every
-            L2 demand miss and every write-back to memory goes through
-            it; measured latencies replace the platform's flat DRAM
-            latency and its energy model replaces the flat per-transfer
-            charge.
-        prefetcher: Optional L2 prefetcher.  Demand misses train it;
-            its proposals are installed as non-demand fills into the
-            missing access's segment (so in a partitioned design a
-            kernel miss can only pollute the kernel segment).
-        engine: ``"auto"`` replays through the vectorized fast kernel
-            (:mod:`repro.cache.fastsim`) when the whole design qualifies
-            — LRU segments, no gating/drowsy, retention ``none`` or
-            ``invalidate``, and neither a DRAM model nor a prefetcher
-            (both need per-access interleaving) — falling back to the
-            reference engine otherwise.  ``"fast"`` requires the kernel
-            and raises when the design disqualifies; ``"reference"``
-            forces the per-access engine.  The chosen path is recorded
-            in ``DesignResult.extras["sim_engine"]``.
-    """
-    if engine not in ("auto", "fast", "reference"):
-        raise ValueError(f"engine must be 'auto', 'fast' or 'reference', got {engine!r}")
-    sim_engine = "reference"
-    if engine != "reference" and dram_model is None and prefetcher is None:
-        from repro.cache import fastsim
-
-        if (engine == "fast" or fastsim.enabled()) and fastsim.try_run_fixed(
-            stream, segments, router
-        ):
-            sim_engine = "fastsim"
-    if engine == "fast" and sim_engine != "fastsim":
-        raise ValueError(
-            f"design {design_name!r} does not qualify for the fast kernel "
-            "(needs LRU segments, retention 'none'/'invalidate', no DRAM "
-            "model, no prefetcher)"
-        )
-
-    dram_read_stall = 0
-    prefetch_issued = 0
-    prefetch_useful = 0
-    final_tick = stream.duration_ticks
-    if sim_engine == "reference":
-        ticks = stream.ticks.tolist()
-        addrs = stream.addrs.tolist()
-        privs = stream.privs.tolist()
-        writes = stream.writes.tolist()
-        demand = stream.demand.tolist()
-        block_size = segments[0].cache.geometry.block_size
-        block_mask = ~(block_size - 1)
-        pending_prefetches: set[int] = set()
-        for tick, addr, priv, is_write, is_demand in zip(ticks, addrs, privs, writes, demand):
-            cache = router(priv)
-            result = cache.access(addr, is_write, priv, tick, is_demand)
-            if result.hit:
-                if pending_prefetches and is_demand:
-                    block = addr & block_mask
-                    if block in pending_prefetches:
-                        prefetch_useful += 1
-                        pending_prefetches.discard(block)
-                continue
-            if is_demand and dram_model is not None:
-                dram_read_stall += dram_model.access(addr, tick)
-            if result.writeback and dram_model is not None:
-                dram_model.access(result.victim_addr, tick, is_write=True)
-            if is_demand and prefetcher is not None:
-                for target in prefetcher.on_miss(addr):
-                    pf = cache.access(target, False, priv, tick, demand=False)
-                    prefetch_issued += 1
-                    if not pf.hit:
-                        pending_prefetches.add(target & block_mask)
-                        if dram_model is not None:
-                            dram_model.access(target, tick)
-                        if pf.writeback and dram_model is not None:
-                            dram_model.access(pf.victim_addr, tick, is_write=True)
-        for seg in segments:
-            seg.cache.finalize(final_tick)
-
-    # Timing: weighted technology penalties across segments.
-    total_demand = sum(seg.cache.stats.demand_accesses for seg in segments)
-    if total_demand:
-        extra_read = (
-            sum(seg.cache.stats.demand_accesses * seg.tech.extra_read_cycles for seg in segments)
-            / total_demand
-        )
-    else:
-        extra_read = 0.0
-    l2_writes = sum(seg.cache.stats.total_writes for seg in segments)
-    if l2_writes:
-        extra_write = (
-            sum(seg.cache.stats.total_writes * seg.tech.extra_write_cycles for seg in segments)
-            / l2_writes
-        )
-    else:
-        extra_write = 0.0
-    merged_demand_misses = sum(seg.cache.stats.demand_misses for seg in segments)
-    timing = compute_timing(
-        platform,
-        instructions=stream.instructions,
-        duration_ticks=stream.duration_ticks,
-        l1_demand_misses=stream.l1_demand_misses,
-        l2_demand_misses=merged_demand_misses,
-        l2_extra_read_cycles=extra_read,
-        l2_extra_write_cycles=extra_write,
-        l2_writes=l2_writes,
-        dram_stall_override=float(dram_read_stall) if dram_model is not None else None,
-    )
-
-    seconds = timing.seconds(platform)
-    reports = []
-    for seg in segments:
-        size = seg.cache.size_bytes
-        reports.append(
-            SegmentReport(
-                name=seg.name,
-                tech_name=seg.tech.name,
-                size_bytes=size,
-                byte_seconds=size * seconds,
-                stats=seg.cache.stats,
-                energy=segment_energy(seg.cache.stats, seg.tech, size, size * seconds),
-            )
-        )
-    dram_reads = merged_demand_misses
-    dram_writes = sum(
-        seg.cache.stats.writebacks + seg.cache.stats.expiry_writebacks for seg in segments
-    )
-    if dram_model is not None:
-        dram_j = dram_model.energy_j(platform.seconds(timing.busy_cycles))
-        extras = {"dram_stats": dram_model.stats}
-    else:
-        dram_j = dram_energy_j(dram_reads, dram_writes)
-        extras = {}
-    if prefetcher is not None:
-        extras["prefetch_issued"] = prefetch_issued
-        extras["prefetch_useful"] = prefetch_useful
-    extras["sim_engine"] = sim_engine
-    return DesignResult(
-        design=design_name,
-        app=stream.name,
-        segments=tuple(reports),
-        timing=timing,
-        dram_j=dram_j,
-        extras=extras,
-    )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.cache.hierarchy import L2Stream
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import PlatformConfig
-from repro.core.replay import FixedSegment, run_fixed_design
+from repro.core.pipeline import FixedSegment, run_fixed_design
 from repro.core.result import DesignResult
 from repro.energy.technology import MemoryTechnology, sram
 from repro.types import Privilege
@@ -98,7 +98,7 @@ class StaticPartitionDesign:
         DRAM model (see :mod:`repro.dram`); ``prefetcher`` optionally
         adds an L2 prefetcher (see :mod:`repro.cache.prefetch`).
         ``engine`` picks the replay path (``"auto"``/``"fast"``/
-        ``"reference"``, see :func:`~repro.core.replay.run_fixed_design`).
+        ``"reference"``, see :func:`~repro.core.pipeline.run_fixed_design`).
         """
         user = self._segment(platform, self.user_ways, self.user_tech, "user")
         kernel = self._segment(platform, self.kernel_ways, self.kernel_tech, "kernel")

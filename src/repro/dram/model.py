@@ -10,13 +10,13 @@ column transfers.
 
 It is used by the DRAM-sensitivity ablation
 (``benchmarks/bench_ablation_dram.py``) and can be plugged into any
-fixed design via :class:`repro.core.replay.run_fixed_design`'s
+fixed design via :class:`repro.core.pipeline.run_fixed_design`'s
 ``dram_model`` argument to replace the flat-latency assumption.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["DRAMConfig", "DRAMStats", "DRAMModel"]
 

@@ -36,7 +36,7 @@ EXPERIMENT_TRACE_LENGTH = 720_000
 #: whenever the simulator's observable output or the serialised result
 #: layout changes — old cache entries then become silent misses instead
 #: of stale hits.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Kwarg value types that survive canonical JSON encoding unchanged.
 _SCALARS = (bool, int, float, str, type(None))

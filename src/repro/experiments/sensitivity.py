@@ -12,7 +12,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.config import DEFAULT_PLATFORM, LatencyConfig
+from repro.config import DEFAULT_PLATFORM
 from repro.core.baseline import BaselineDesign
 from repro.core.multi_retention import multi_retention_design
 from repro.experiments.report import format_table

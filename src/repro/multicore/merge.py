@@ -23,7 +23,6 @@ from repro.cache.hierarchy import L2Stream, l1_filter
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.trace.transform import remap_user_space
 from repro.trace.workloads import suite_trace
-from repro.types import KERNEL_SPACE_START
 
 __all__ = ["merge_streams", "multicore_stream"]
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analytic import StackProfile, profile_blocks, stack_distances
+from repro.analytic import profile_blocks, stack_distances
 
 
 class TestStackDistances:

@@ -7,8 +7,7 @@ from repro.cache.hierarchy import L2Stream
 from repro.cache.stats import CacheStats
 from repro.config import DEFAULT_PLATFORM
 from repro.core.dynamic_partition import DynamicControllerConfig, DynamicPartitionDesign
-from repro.energy.technology import sram, stt_ram
-from repro.types import Privilege
+from repro.energy.technology import sram
 
 
 def synthetic_stream(rows, name="synth", instructions=1_000_000, duration=None):
@@ -111,6 +110,86 @@ class TestResizing:
         cfg = DynamicControllerConfig(epoch_ticks=10_000, start_user_ways=2)
         r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM)
         assert max(r.extras["timeline_user_ways"]) > 2
+
+
+def _bursty_rows(n_bursts=6, burst_len=800, idle=120_000):
+    """Bursts of mixed-privilege traffic separated by multi-epoch idles."""
+    rng = np.random.default_rng(11)
+    rows = []
+    tick = 0
+    for _ in range(n_bursts):
+        for _ in range(burst_len):
+            tick += int(rng.integers(1, 8))
+            rows.append((tick, int(rng.integers(0, 3000)) * 64,
+                         int(rng.integers(0, 2)), bool(rng.integers(0, 2)), True))
+        tick += idle
+    return rows
+
+
+class TestControllerInvariants:
+    """The resize timeline, resize counters and capacity integral must
+    tell one consistent story, on both replay engines."""
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_timeline_ways_within_bounds(self, engine):
+        stream = synthetic_stream(_bursty_rows())
+        cfg = DynamicControllerConfig(epoch_ticks=10_000)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM, engine=engine)
+        assert all(
+            cfg.min_ways <= w <= cfg.max_user_ways
+            for w in r.extras["timeline_user_ways"]
+        )
+        assert all(
+            cfg.min_ways <= w <= cfg.max_kernel_ways
+            for w in r.extras["timeline_kernel_ways"]
+        )
+        ticks = r.extras["timeline_ticks"]
+        assert ticks == sorted(ticks) and ticks[0] == 0
+        assert ticks[-1] < stream.duration_ticks
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_resizes_match_timeline_transitions(self, engine):
+        # idle_accesses=0 disables idle gating, so wake-on-first-access
+        # never fires and every resize is a timeline transition
+        stream = synthetic_stream(_bursty_rows())
+        cfg = DynamicControllerConfig(epoch_ticks=10_000, idle_accesses=0)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM, engine=engine)
+        for seg, key in (("user", "timeline_user_ways"), ("kernel", "timeline_kernel_ways")):
+            tl = r.extras[key]
+            transitions = sum(1 for a, b in zip(tl, tl[1:]) if a != b)
+            assert r.extras[f"{seg}_resizes"] == transitions
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_byte_ticks_match_timeline_integral(self, engine):
+        # with wake disabled the powered size is piecewise constant
+        # between boundaries, so the byte-tick integral is exactly the
+        # timeline integral times the bytes per way
+        stream = synthetic_stream(_bursty_rows())
+        cfg = DynamicControllerConfig(epoch_ticks=10_000, idle_accesses=0)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM, engine=engine)
+        l2 = DEFAULT_PLATFORM.l2
+        bytes_per_way = l2.num_sets * l2.block_size
+        edges = r.extras["timeline_ticks"] + [stream.duration_ticks]
+        for seg, key in (("user", "timeline_user_ways"), ("kernel", "timeline_kernel_ways")):
+            tl = r.extras[key]
+            integral = sum(
+                (edges[i + 1] - edges[i]) * tl[i] for i in range(len(tl))
+            ) * bytes_per_way
+            assert r.extras[f"{seg}_byte_ticks"] == integral
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_byte_ticks_bounded_with_gating(self, engine):
+        # with idle gating and wakes the timeline alone cannot pin the
+        # integral, but it stays inside the provisioned envelope
+        stream = synthetic_stream(_bursty_rows())
+        cfg = DynamicControllerConfig(epoch_ticks=10_000)
+        r = DynamicPartitionDesign(cfg).run(stream, DEFAULT_PLATFORM, engine=engine)
+        l2 = DEFAULT_PLATFORM.l2
+        bytes_per_way = l2.num_sets * l2.block_size
+        span = stream.duration_ticks
+        for seg, cap in (("user", cfg.max_user_ways), ("kernel", cfg.max_kernel_ways)):
+            bt = r.extras[f"{seg}_byte_ticks"]
+            assert cfg.min_ways * bytes_per_way * span <= bt <= cap * bytes_per_way * span
 
 
 class TestEnergyAccounting:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from conftest import make_trace
 from repro.cache.hierarchy import l1_filter
 from repro.config import DEFAULT_PLATFORM
 from repro.core.search import PartitionPoint, find_static_partition, sweep_partitions

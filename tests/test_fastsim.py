@@ -9,14 +9,23 @@ envelope.  This file is that promise, tested three ways:
 2. the production entry points (``l1_filter`` and the fixed L2 designs)
    are replayed through both engines and compared field by field;
 3. the dispatch layer is pinned down: what qualifies, what falls back,
-   what ``engine="fast"`` rejects, and the ``REPRO_FASTSIM`` kill switch.
+   what ``engine="fast"`` rejects, and the ``REPRO_FASTSIM`` kill switch;
+4. the dynamic partition design's epoch-chunked kernel is swept over
+   randomized controller x technology x burst-shape configurations and
+   compared on the *whole* ``DesignResult`` (timelines and resize
+   counts included), plus its own dispatch rules.
 """
 
 import numpy as np
 import pytest
 
 from repro.cache import fastsim
-from repro.cache.diffsim import assert_case_equal, sample_case
+from repro.cache.diffsim import (
+    assert_case_equal,
+    assert_dynamic_case_equal,
+    sample_case,
+    sample_dynamic_case,
+)
 from repro.cache.hierarchy import l1_filter
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import DEFAULT_PLATFORM, CacheGeometry
@@ -232,3 +241,53 @@ def test_supports_cache_envelope():
     warm = SetAssociativeCache(geometry, "lru")
     warm.access(0, False, 0, 0)
     assert not fastsim.supports_cache(warm)
+
+
+# ----------------------------------------------------------------------
+# 4. the dynamic design's epoch-chunked kernel
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_dynamic_kernel_matches_reference(seed):
+    assert_dynamic_case_equal(sample_dynamic_case(seed))
+
+
+def test_dynamic_auto_engine_uses_fast_kernel(browser_stream_small):
+    from repro.core.dynamic_partition import DynamicPartitionDesign
+
+    result = DynamicPartitionDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+    assert result.extras["sim_engine"] == "fastsim"
+
+
+def test_dynamic_kill_switch_falls_back(browser_stream_small, monkeypatch):
+    from repro.core.dynamic_partition import DynamicPartitionDesign
+
+    monkeypatch.setenv("REPRO_FASTSIM", "0")
+    result = DynamicPartitionDesign().run(browser_stream_small, DEFAULT_PLATFORM)
+    assert result.extras["sim_engine"] == "reference"
+
+
+def test_dynamic_fast_engine_raises_when_disqualified(browser_stream_small):
+    from repro.core.dynamic_partition import DynamicPartitionDesign
+
+    with pytest.raises(ValueError, match="fast"):
+        DynamicPartitionDesign(policy="plru").run(
+            browser_stream_small, DEFAULT_PLATFORM, engine="fast"
+        )
+    with pytest.raises(ValueError, match="fast"):
+        DynamicPartitionDesign(refresh_mode="rewrite").run(
+            browser_stream_small, DEFAULT_PLATFORM, engine="fast"
+        )
+
+
+def test_dynamic_segment_rejects_bad_config():
+    geometry = CacheGeometry(8192, 4)
+    with pytest.raises(ValueError, match="refresh modes"):
+        fastsim.EpochReplaySegment(geometry, refresh_mode="rewrite")
+    with pytest.raises(ValueError, match="retention_ticks"):
+        fastsim.EpochReplaySegment(geometry, refresh_mode="invalidate")
+    seg = fastsim.EpochReplaySegment(geometry)
+    with pytest.raises(ValueError, match="new_powered"):
+        seg.set_powered_ways(0, tick=0)
+    with pytest.raises(ValueError, match="new_powered"):
+        seg.set_powered_ways(5, tick=0)

@@ -8,7 +8,6 @@ from repro.config import DEFAULT_PLATFORM
 from repro.core import BaselineDesign, DynamicPartitionDesign
 from repro.trace.generator import generate_trace
 from repro.trace.microbench import MICROBENCH_NAMES, microbench_profile
-from repro.types import Privilege
 
 
 class TestProfiles:

@@ -93,7 +93,9 @@ class TestEvictionAndWriteback:
         c.access(0x0, False, U, 0)
         r = c.access(0x40 * 16, False, U, 1)
         assert not r.writeback
-        assert r.victim_addr is None
+        # the victim is still identified (prefetch tracking retires on any
+        # eviction), only the writeback flag distinguishes dirty victims
+        assert r.victim_addr == 0x0
 
     def test_write_hit_marks_dirty(self):
         c = one_set_cache(ways=1)

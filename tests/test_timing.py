@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import DEFAULT_PLATFORM, LatencyConfig, PlatformConfig
-from repro.timing.cpu import WRITE_CONTENTION_FACTOR, TimingResult, compute_timing
+from repro.timing.cpu import WRITE_CONTENTION_FACTOR, compute_timing
 
 
 def timing(**kw):
