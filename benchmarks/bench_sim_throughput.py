@@ -20,11 +20,14 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.cache.fastsim import simulate_trace
 from repro.cache.hierarchy import l1_filter
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.config import CacheGeometry, PlatformConfig
+from repro.core.designs import make_design
 from repro.core.dynamic_partition import DynamicPartitionDesign
+from repro.obs.trace import NULL_SPAN
 from repro.trace.workloads import suite_trace
 
 N_ACCESSES = 50_000
@@ -39,6 +42,11 @@ MIN_SPEEDUP = 5.0
 #: this factor end to end on the canonical ``dynamic-stt`` workload
 #: (design construction, controller steps and result assembly included).
 DYNAMIC_MIN_SPEEDUP = 3.0
+
+#: Disabled observability instrumentation (the no-op recorder plus the
+#: always-on counters) may cost at most this fraction of a canonical
+#: job's wall time (see ``docs/observability.md``).
+OBS_OVERHEAD_BUDGET = 0.02
 
 #: The canonical dynamic-stt workload: the browser app's L2 stream —
 #: bursty and interaction-driven, the trace shape the dynamic design
@@ -156,4 +164,88 @@ def test_dynamic_fast_path_speedup(benchmark):
     assert speedup >= DYNAMIC_MIN_SPEEDUP, (
         f"dynamic fast path speedup {speedup:.2f}x below the "
         f"{DYNAMIC_MIN_SPEEDUP:.0f}x contract"
+    )
+
+
+class _CountingRecorder:
+    """Tallies span/event call sites without recording anything."""
+
+    enabled = False
+
+    def __init__(self):
+        self.spans = 0
+        self.events = 0
+
+    def span(self, name, **attrs):
+        self.spans += 1
+        return NULL_SPAN
+
+    def event(self, name, **attrs):
+        self.events += 1
+
+    def emit(self, payload):
+        pass
+
+    def metrics(self, registry=None):
+        pass
+
+    def close(self):
+        pass
+
+
+def test_obs_disabled_overhead(benchmark):
+    """Disabled instrumentation must stay under its 2% budget.
+
+    Strategy: count how many instrumentation operations (no-op spans,
+    events and counter increments) one canonical job actually performs,
+    price a single disabled operation with a tight micro-benchmark, and
+    assert that the product is below ``OBS_OVERHEAD_BUDGET`` of the
+    job's measured wall time.  This bounds the overhead far more
+    stably than differencing two noisy end-to-end timings.
+    """
+    platform = PlatformConfig()
+    trace = suite_trace("browser", length=60_000, seed=11)
+
+    def job():
+        stream = l1_filter(trace, platform)
+        return make_design("baseline").run(stream, platform)
+
+    # 1. Count the instrumentation ops of one job.
+    counting = _CountingRecorder()
+    previous = obs.set_recorder(counting)
+    counters_before = sum(obs.REGISTRY.counters.values())
+    try:
+        job()
+    finally:
+        obs.set_recorder(previous)
+    n_spans = counting.spans + counting.events
+    n_incs = sum(obs.REGISTRY.counters.values()) - counters_before
+    assert n_spans > 0, "the job is expected to hit instrumented code"
+
+    # 2. Price one disabled span (enter/exit) and one counter increment.
+    n = 20_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with obs.span("bench", probe=1):
+            pass
+    span_cost = (time.perf_counter() - t0) / n
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obs.inc("bench.probe")
+    inc_cost = (time.perf_counter() - t0) / n
+
+    # 3. The job's wall time with instrumentation disabled (as shipped).
+    benchmark(job)
+    job_wall = benchmark.stats["min"]
+
+    overhead_s = n_spans * span_cost + n_incs * inc_cost
+    overhead = overhead_s / job_wall
+    print(
+        f"\nobs disabled overhead: {n_spans} spans x {span_cost * 1e9:.0f} ns + "
+        f"{n_incs} counter incs x {inc_cost * 1e9:.0f} ns = {overhead_s * 1e6:.1f} us "
+        f"of a {job_wall * 1e3:.1f} ms job ({overhead:.4%})"
+    )
+    assert overhead < OBS_OVERHEAD_BUDGET, (
+        f"disabled instrumentation overhead {overhead:.2%} exceeds the "
+        f"{OBS_OVERHEAD_BUDGET:.0%} budget"
     )

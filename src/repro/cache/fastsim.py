@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cache.replacement import LRUPolicy
 from repro.cache.stats import CacheStats
 from repro.config import CacheGeometry, PlatformConfig
@@ -949,12 +950,15 @@ def try_run_fixed(stream, segments, router) -> bool:
     """
     caches = [seg.cache for seg in segments]
     if not caches or not all(supports_cache(c) for c in caches):
+        obs.inc("fastsim.decline.unsupported-cache")
         return False
     user_cache = router(int(Privilege.USER))
     kernel_cache = router(int(Privilege.KERNEL))
     if not any(user_cache is c for c in caches):
+        obs.inc("fastsim.decline.router")
         return False
     if not any(kernel_cache is c for c in caches):
+        obs.inc("fastsim.decline.router")
         return False
 
     final_tick = stream.duration_ticks

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.stats import CacheStats
 from repro.config import PlatformConfig
@@ -113,14 +114,25 @@ def l1_filter(
     """
     if engine not in ("auto", "fast", "reference"):
         raise ValueError(f"engine must be 'auto', 'fast' or 'reference', got {engine!r}")
-    if engine != "reference" and policy == "lru":
-        from repro.cache import fastsim
+    with obs.span("l1.filter", app=trace.name, accesses=len(trace)) as sp:
+        if engine != "reference" and policy == "lru":
+            from repro.cache import fastsim
 
-        if engine == "fast" or fastsim.enabled():
-            return fastsim.fast_l1_filter(trace, platform)
-    if engine == "fast":
-        raise ValueError(f"the fast L1 filter supports only the 'lru' policy, got {policy!r}")
+            if engine == "fast" or fastsim.enabled():
+                obs.inc("l1.dispatch.fastsim")
+                sp.note(engine="fastsim")
+                return fastsim.fast_l1_filter(trace, platform)
+        if engine == "fast":
+            raise ValueError(
+                f"the fast L1 filter supports only the 'lru' policy, got {policy!r}"
+            )
+        obs.inc("l1.dispatch.reference")
+        sp.note(engine="reference")
+        return _reference_l1_filter(trace, platform, policy)
 
+
+def _reference_l1_filter(trace: Trace, platform: PlatformConfig, policy: str) -> L2Stream:
+    """The per-access L1 filter (see :func:`l1_filter` for the contract)."""
     l1i = SetAssociativeCache(platform.l1i, policy, name="l1i")
     l1d = SetAssociativeCache(platform.l1d, policy, name="l1d")
 

@@ -12,14 +12,24 @@ Commands:
 * ``sweep`` — run a design x app x seed grid through the execution
   engine (``--jobs N`` for multiprocess fan-out, store-backed).
 * ``cache`` — inspect (``stats``) or empty (``clear``) the persistent
-  result store.
+  result store; ``stats`` includes the lifetime hit-rate and
+  corruption counters.
+* ``obs`` — observability tooling: ``obs summary RUN.jsonl`` renders a
+  where-did-the-time-go table from a structured run log.
+
+``run``, ``sweep`` and ``validate`` accept ``--trace PATH`` to write a
+JSONL run log of the execution (spans, events, metrics — see
+``docs/observability.md``); progress lines always go to stderr so piped
+stdout stays machine-readable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.cache.hierarchy import l1_filter
 from repro.cache.prefetch import make_prefetcher
 from repro.cache.replacement import POLICY_NAMES
@@ -90,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--prefetcher", choices=("nextline", "stride"))
     run_p.add_argument("--banked-dram", action="store_true",
                        help="use the bank/row-buffer DRAM model")
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="write a JSONL run log of the execution to PATH")
 
     fig_p = sub.add_parser("figure", help="regenerate one figure")
     fig_p.add_argument("number", type=int, choices=sorted(_FIGURES))
@@ -113,6 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     val_p = sub.add_parser("validate", help="check the paper's headline claims")
     val_p.add_argument("--length", type=int, default=EXPERIMENT_TRACE_LENGTH)
+    val_p.add_argument("--trace", metavar="PATH",
+                       help="write a JSONL run log of the execution to PATH")
 
     exp_p = sub.add_parser("export", help="dump the (design x app) grid as CSV")
     exp_p.add_argument("--out", required=True)
@@ -129,10 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (results are identical for any value)")
     sweep_p.add_argument("--no-progress", action="store_true",
-                         help="suppress per-job progress lines")
+                         help="suppress per-job progress lines (written to stderr)")
+    sweep_p.add_argument("--trace", metavar="PATH",
+                         help="write a JSONL run log of the sweep to PATH")
 
     cache_p = sub.add_parser("cache", help="manage the persistent result store")
     cache_p.add_argument("action", choices=("stats", "clear"))
+
+    obs_p = sub.add_parser("obs", help="observability tooling for run logs")
+    obs_p.add_argument("action", choices=("summary",))
+    obs_p.add_argument("log", metavar="RUN_LOG",
+                       help="JSONL run log written by --trace or REPRO_TRACE")
 
     return parser
 
@@ -213,8 +234,10 @@ def _cmd_sweep(args, out) -> int:
         return 2
     progress = None
     if not args.no_progress:
+        # Progress is ephemeral status, not output: stderr keeps piped
+        # stdout (tables, CSV, JSON) free of interleaved status lines.
         def progress(event):
-            print(event.render(), file=out)
+            print(event.render(), file=sys.stderr)
     sweep = run_sweep(
         designs=args.designs,
         apps=args.apps,
@@ -239,6 +262,12 @@ def _cmd_cache(args, out) -> int:
             ["root", str(stats.root)],
             ["entries", f"{stats.entries:,}"],
             ["size", f"{stats.total_bytes / 1024:.1f} KiB"],
+            ["lookups", f"{stats.lookups:,}"],
+            ["hits", f"{stats.hits:,}"],
+            ["misses", f"{stats.misses:,}"],
+            ["hit rate", format_percent(stats.hit_rate, 1)],
+            ["writes", f"{stats.writes:,}"],
+            ["corrupt evictions", f"{stats.corrupt_evictions:,}"],
         ]
         print(format_table("result store", ["field", "value"], rows,
                            align_left_cols=2), file=out)
@@ -248,11 +277,51 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    from repro.obs import summary as obs_summary
+
+    try:
+        run = obs_summary.load_run(args.log)
+    except FileNotFoundError:
+        print(f"error: no run log at {args.log}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(obs_summary.summarize(run).render(), file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When the selected command carries ``--trace PATH``, a JSONL
+    recorder is installed for the duration of the command (and exported
+    through ``REPRO_TRACE`` so ``--jobs`` pool workers append their
+    spans to the same log); a final metrics snapshot is written before
+    the recorder closes.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
 
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _dispatch(args, out)
+    saved_env = os.environ.get(obs.TRACE_ENV)
+    os.environ[obs.TRACE_ENV] = trace_path
+    recorder = obs.configure(trace_path)
+    try:
+        return _dispatch(args, out)
+    finally:
+        recorder.metrics()
+        obs.configure(None)
+        if saved_env is None:
+            os.environ.pop(obs.TRACE_ENV, None)
+        else:
+            os.environ[obs.TRACE_ENV] = saved_env
+
+
+def _dispatch(args, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
@@ -286,6 +355,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
+    if args.command == "obs":
+        return _cmd_obs(args, out)
     if args.command == "export":
         from repro.experiments.export import export_grid_csv
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.cache.hierarchy import L2Stream
 from repro.cache.prefetch import Prefetcher
 from repro.cache.set_assoc import SetAssociativeCache
@@ -99,17 +100,44 @@ class ReplaySession:
             ``"fastsim"``); False when the caller must run its reference
             loop.  Raises ``ValueError`` when ``engine="fast"`` was
             requested but the design disqualifies.
+
+        Every call books one ``pipeline.dispatch.<engine>`` counter, and
+        every fallback books ``pipeline.fallback.<reason>`` — under
+        ``engine="auto"`` the *silent* fallbacks (kill switch, kernel
+        declined at replay time) additionally emit a ``pipeline.fallback``
+        trace event, so an unexpectedly slow run is diagnosable from its
+        run log alone.
         """
-        if self.engine != "reference" and qualifies and runner is not None:
+        reason = None
+        if self.engine == "reference":
+            reason = "engine=reference"
+        elif runner is None:
+            reason = "no-fast-path"
+        elif not qualifies:
+            reason = "disqualified"
+        else:
             from repro.cache import fastsim
 
-            if (self.engine == "fast" or fastsim.enabled()) and runner(fastsim):
-                self.sim_engine = "fastsim"
+            if self.engine == "auto" and not fastsim.enabled():
+                reason = "kill-switch"
+            else:
+                with obs.span("replay", design=self.design_name, engine="fastsim"):
+                    ran = runner(fastsim)
+                if ran:
+                    self.sim_engine = "fastsim"
+                else:
+                    reason = "kernel-declined"
         if self.engine == "fast" and self.sim_engine != "fastsim":
+            obs.inc("pipeline.dispatch.error")
             raise ValueError(
                 f"design {self.design_name!r} does not qualify for the fast kernel "
                 f"({requirement})"
             )
+        obs.inc(f"pipeline.dispatch.{self.sim_engine}")
+        if reason is not None:
+            obs.inc(f"pipeline.fallback.{reason}")
+            if self.engine == "auto" and reason in ("kill-switch", "kernel-declined"):
+                obs.event("pipeline.fallback", design=self.design_name, reason=reason)
         return self.sim_engine == "fastsim"
 
     # ------------------------------------------------------------------
@@ -131,8 +159,9 @@ class ReplaySession:
         (a :class:`SetAssociativeCache` or a composite like the hybrid
         segment).  The caller finalizes its caches itself.
         """
-        for tick, addr, priv, is_write, is_demand in self.rows():
-            route(priv).access(addr, is_write, priv, tick, is_demand)
+        with obs.span("replay", design=self.design_name, engine="reference", loop="routed"):
+            for tick, addr, priv, is_write, is_demand in self.rows():
+                route(priv).access(addr, is_write, priv, tick, is_demand)
 
     def replay_epochs(
         self,
@@ -147,14 +176,15 @@ class ReplaySession:
         ``route(priv)`` returns a segment exposing wake-on-first-access
         (``wake(tick)``) and a ``cache.access`` method.
         """
-        next_epoch = epoch_ticks
-        for tick, addr, priv, is_write, is_demand in self.rows():
-            while tick >= next_epoch:
-                on_boundary(next_epoch)
-                next_epoch += epoch_ticks
-            seg = route(priv)
-            seg.wake(tick)
-            seg.cache.access(addr, is_write, priv, tick, is_demand)
+        with obs.span("replay", design=self.design_name, engine="reference", loop="epochs"):
+            next_epoch = epoch_ticks
+            for tick, addr, priv, is_write, is_demand in self.rows():
+                while tick >= next_epoch:
+                    on_boundary(next_epoch)
+                    next_epoch += epoch_ticks
+                seg = route(priv)
+                seg.wake(tick)
+                seg.cache.access(addr, is_write, priv, tick, is_demand)
 
     def replay_fixed(
         self,
@@ -182,38 +212,39 @@ class ReplaySession:
         dram_read_stall = 0
         prefetch_issued = 0
         prefetch_useful = 0
-        for tick, addr, priv, is_write, is_demand in self.rows():
-            cache = router(priv)
-            result = cache.access(addr, is_write, priv, tick, is_demand)
-            if result.hit:
-                if pending_prefetches and is_demand:
-                    block = addr & block_mask
-                    if block in pending_prefetches:
-                        prefetch_useful += 1
-                        pending_prefetches.discard(block)
-                continue
-            if pending_prefetches:
-                pending_prefetches.discard(addr & block_mask)
-                if result.victim_addr is not None:
-                    pending_prefetches.discard(result.victim_addr)
-            if is_demand and dram_model is not None:
-                dram_read_stall += dram_model.access(addr, tick)
-            if result.writeback and dram_model is not None:
-                dram_model.access(result.victim_addr, tick, is_write=True)
-            if is_demand and prefetcher is not None:
-                for target in prefetcher.on_miss(addr):
-                    pf = cache.access(target, False, priv, tick, demand=False)
-                    prefetch_issued += 1
-                    if not pf.hit:
-                        if pf.victim_addr is not None:
-                            pending_prefetches.discard(pf.victim_addr)
-                        pending_prefetches.add(target & block_mask)
-                        if dram_model is not None:
-                            dram_model.access(target, tick)
-                        if pf.writeback and dram_model is not None:
-                            dram_model.access(pf.victim_addr, tick, is_write=True)
-        for seg in segments:
-            seg.cache.finalize(self.stream.duration_ticks)
+        with obs.span("replay", design=self.design_name, engine="reference", loop="fixed"):
+            for tick, addr, priv, is_write, is_demand in self.rows():
+                cache = router(priv)
+                result = cache.access(addr, is_write, priv, tick, is_demand)
+                if result.hit:
+                    if pending_prefetches and is_demand:
+                        block = addr & block_mask
+                        if block in pending_prefetches:
+                            prefetch_useful += 1
+                            pending_prefetches.discard(block)
+                    continue
+                if pending_prefetches:
+                    pending_prefetches.discard(addr & block_mask)
+                    if result.victim_addr is not None:
+                        pending_prefetches.discard(result.victim_addr)
+                if is_demand and dram_model is not None:
+                    dram_read_stall += dram_model.access(addr, tick)
+                if result.writeback and dram_model is not None:
+                    dram_model.access(result.victim_addr, tick, is_write=True)
+                if is_demand and prefetcher is not None:
+                    for target in prefetcher.on_miss(addr):
+                        pf = cache.access(target, False, priv, tick, demand=False)
+                        prefetch_issued += 1
+                        if not pf.hit:
+                            if pf.victim_addr is not None:
+                                pending_prefetches.discard(pf.victim_addr)
+                            pending_prefetches.add(target & block_mask)
+                            if dram_model is not None:
+                                dram_model.access(target, tick)
+                            if pf.writeback and dram_model is not None:
+                                dram_model.access(pf.victim_addr, tick, is_write=True)
+            for seg in segments:
+                seg.cache.finalize(self.stream.duration_ticks)
         return dram_read_stall, prefetch_issued, prefetch_useful
 
 
@@ -329,6 +360,16 @@ class ResultAssembler:
         """Assemble the final :class:`DesignResult` from the outcomes."""
         if self.timing is None:
             raise RuntimeError("weigh_timing must run before finish")
+        with obs.span("assemble", design=self.session.design_name, app=self.stream.name):
+            return self._finish(outcomes, dram_model=dram_model, extras=extras)
+
+    def _finish(
+        self,
+        outcomes: list[SegmentOutcome],
+        *,
+        dram_model: DRAMModel | None = None,
+        extras: dict | None = None,
+    ) -> DesignResult:
         seconds = self.seconds
         reports = []
         for oc in outcomes:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.cache.hierarchy import L2Stream, l1_filter
 from repro.config import PlatformConfig
 from repro.core.designs import make_design
@@ -45,16 +46,23 @@ def _worker_stream(app: str, length: int, seed: int, platform: PlatformConfig) -
 
 def execute_spec(spec: JobSpec) -> DesignResult:
     """Simulate one job from scratch (no store involved)."""
-    stream = _worker_stream(spec.app, spec.length, spec.seed, spec.platform)
-    design = make_design(spec.design, **spec.kwargs)
-    return design.run(stream, spec.platform)
+    with obs.span("job", label=spec.label(), design=spec.design, app=spec.app):
+        stream = _worker_stream(spec.app, spec.length, spec.seed, spec.platform)
+        design = make_design(spec.design, **spec.kwargs)
+        return design.run(stream, spec.platform)
 
 
-def _timed_execute(spec: JobSpec) -> tuple[DesignResult, float]:
-    """Pool entry point: run one spec and measure its wall time."""
+def _timed_execute(spec: JobSpec) -> tuple[DesignResult, float, float]:
+    """Pool entry point: run one spec, measuring wall and CPU time.
+
+    Both clocks are read *inside* the worker process, so the returned
+    ``cpu_s`` is the job's own compute (not the parent's), and it ships
+    back to the parent inside the future result / :class:`JobOutcome`.
+    """
     start = time.perf_counter()
+    cpu_start = time.process_time()
     result = execute_spec(spec)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, time.process_time() - cpu_start
 
 
 @dataclass(frozen=True)
@@ -66,26 +74,48 @@ class JobOutcome:
     cached: bool
     wall_s: float
     attempts: int
+    cpu_s: float = 0.0
 
 
 @dataclass(frozen=True)
 class BatchProgress:
-    """Snapshot passed to the progress callback after each completion."""
+    """Snapshot passed to the progress callback after each completion.
+
+    ``started_at`` is the batch's ``time.perf_counter()`` start, so a
+    renderer can derive elapsed time, fresh-job throughput and an ETA at
+    print time; ``last.wall_s`` / ``last.cpu_s`` carry the finished
+    job's own measured durations.
+    """
 
     total: int
     completed: int
     cached: int
     running: int
     last: JobOutcome
+    started_at: float = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the batch started (0.0 when not stamped)."""
+        return time.perf_counter() - self.started_at if self.started_at else 0.0
 
     def render(self) -> str:
-        """One status line, e.g. ``[ 7/32] dynamic-stt:game 12.3s (5 cached)``."""
+        """One status line, e.g.
+        ``[ 7/32] dynamic-stt:game 12.3s (5 cached, 3 running) 0.5 job/s eta 6s``."""
         source = "store" if self.last.cached else f"{self.last.wall_s:.1f}s"
-        return (
+        line = (
             f"[{self.completed:>{len(str(self.total))}}/{self.total}] "
             f"{self.last.spec.label()} {source} ({self.cached} cached, "
             f"{self.running} running)"
         )
+        fresh_done = self.completed - self.cached
+        elapsed = self.elapsed_s
+        if fresh_done > 0 and elapsed > 0:
+            rate = fresh_done / elapsed
+            line += f" {rate:.1f} job/s"
+            if self.running:
+                line += f" eta {self.running / rate:.0f}s"
+        return line
 
 
 def run_jobs(
@@ -109,45 +139,74 @@ def run_jobs(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    with obs.span("batch", total=len(specs), jobs=jobs):
+        outcomes = _run_batch(specs, jobs, store, progress, retries)
+    if store is not None:
+        store.flush_counters()
+    obs.recorder().metrics()
+    return outcomes
+
+
+def _run_batch(
+    specs: Sequence[JobSpec],
+    jobs: int,
+    store: ResultStore | None,
+    progress: Callable[[BatchProgress], None] | None,
+    retries: int,
+) -> list[JobOutcome]:
     outcomes: list[JobOutcome | None] = [None] * len(specs)
     total = len(specs)
     cached_count = 0
     completed = 0
+    started_at = time.perf_counter()
 
     # Serve what the store already has, and dedupe the rest by key.
     fresh: dict[str, list[int]] = {}
-    for i, spec in enumerate(specs):
-        result = store.get(spec) if store is not None else None
-        if result is not None:
-            outcomes[i] = JobOutcome(spec, result, cached=True, wall_s=0.0, attempts=0)
-            cached_count += 1
-        else:
-            fresh.setdefault(spec.content_key, []).append(i)
+    with obs.span("store.lookup", specs=len(specs)):
+        for i, spec in enumerate(specs):
+            result = store.get(spec) if store is not None else None
+            if result is not None:
+                outcomes[i] = JobOutcome(spec, result, cached=True, wall_s=0.0, attempts=0)
+                cached_count += 1
+            else:
+                fresh.setdefault(spec.content_key, []).append(i)
+    obs.inc("engine.job.cached", cached_count)
     pending = len(fresh)
     for outcome in outcomes:
         if outcome is not None:
             completed += 1
+            obs.event("job.cached", label=outcome.spec.label())
             if progress is not None:
-                progress(BatchProgress(total, completed, cached_count, pending, outcome))
+                progress(BatchProgress(total, completed, cached_count, pending,
+                                       outcome, started_at))
 
-    def finish(indices: list[int], result: DesignResult, wall_s: float, attempts: int) -> None:
+    def finish(indices: list[int], result: DesignResult, wall_s: float,
+               cpu_s: float, attempts: int) -> None:
         nonlocal completed
         if store is not None:
-            store.put(specs[indices[0]], result)
+            with obs.span("store.write"):
+                store.put(specs[indices[0]], result)
         for i in indices:
             outcomes[i] = JobOutcome(specs[i], result, cached=False,
-                                     wall_s=wall_s, attempts=attempts)
+                                     wall_s=wall_s, attempts=attempts, cpu_s=cpu_s)
         completed += len(indices)
+        obs.inc("engine.job.fresh")
+        obs.observe("engine.job", wall_s)
+        obs.event("job.done", label=specs[indices[0]].label(), wall_s=wall_s,
+                  cpu_s=cpu_s, attempts=attempts,
+                  sim_engine=result.extras.get("sim_engine"))
 
     if jobs == 1 or pending <= 1:
         remaining = pending
         for indices in fresh.values():
-            result, wall_s, attempts = _run_with_retry(_timed_execute, specs[indices[0]], retries)
-            finish(indices, result, wall_s, attempts)
+            result, wall_s, cpu_s, attempts = _run_with_retry(
+                _timed_execute, specs[indices[0]], retries
+            )
+            finish(indices, result, wall_s, cpu_s, attempts)
             remaining -= 1
             if progress is not None:
                 progress(BatchProgress(total, completed, cached_count,
-                                       remaining, outcomes[indices[0]]))
+                                       remaining, outcomes[indices[0]], started_at))
         return [o for o in outcomes if o is not None]
 
     with ProcessPoolExecutor(max_workers=min(jobs, pending)) as pool:
@@ -163,20 +222,23 @@ def run_jobs(
                 key = futures.pop(future)
                 indices = fresh[key]
                 try:
-                    result, wall_s = future.result()
-                except Exception:
+                    result, wall_s, cpu_s = future.result()
+                except Exception as exc:
                     attempts_left[key] -= 1
                     if attempts_left[key] <= 0:
                         for other in futures:
                             other.cancel()
                         raise
                     attempt_no[key] += 1
+                    obs.inc("engine.job.retry")
+                    obs.event("job.retry", label=specs[indices[0]].label(),
+                              attempt=attempt_no[key], error=type(exc).__name__)
                     futures[pool.submit(_timed_execute, specs[indices[0]])] = key
                     continue
-                finish(indices, result, wall_s, attempt_no[key])
+                finish(indices, result, wall_s, cpu_s, attempt_no[key])
                 if progress is not None:
                     progress(BatchProgress(total, completed, cached_count,
-                                           len(futures), outcomes[indices[0]]))
+                                           len(futures), outcomes[indices[0]], started_at))
     return [o for o in outcomes if o is not None]
 
 
@@ -186,8 +248,11 @@ def _run_with_retry(fn, spec: JobSpec, retries: int):
     while True:
         attempts += 1
         try:
-            result, wall_s = fn(spec)
-            return result, wall_s, attempts
-        except Exception:
+            result, wall_s, cpu_s = fn(spec)
+            return result, wall_s, cpu_s, attempts
+        except Exception as exc:
             if attempts > retries:
                 raise
+            obs.inc("engine.job.retry")
+            obs.event("job.retry", label=spec.label(), attempt=attempts,
+                      error=type(exc).__name__)

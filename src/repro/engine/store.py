@@ -10,6 +10,14 @@ keyed from (for ``repro cache stats`` introspection) and the serialised
 ``os.replace``) so a crashed or concurrent writer can never publish a
 half-written entry; reads treat *any* undecodable entry as a miss and
 delete it, so a corrupt cache degrades to re-simulation, never a crash.
+
+Every lookup and write is tallied twice: into the process-local
+observability registry (``store.hit`` / ``store.miss`` / ``store.write``
+/ ``store.corrupt-evicted`` counters, see :mod:`repro.obs`) and into a
+per-instance delta that :meth:`ResultStore.flush_counters` folds into a
+cumulative ``counters.json`` beside the entries — that file is what
+``repro cache stats`` reads to report the store's lifetime hit rate and
+corruption history across processes.
 """
 
 from __future__ import annotations
@@ -20,10 +28,14 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.core.result import DesignResult
 from repro.engine.spec import SCHEMA_VERSION, JobSpec, canonical_json
 
-__all__ = ["ResultStore", "StoreStats", "default_store", "default_cache_dir"]
+__all__ = ["COUNTER_KEYS", "ResultStore", "StoreStats", "default_store", "default_cache_dir"]
+
+#: Keys of the persisted cumulative counters (``counters.json``).
+COUNTER_KEYS = ("hits", "misses", "writes", "corrupt_evictions")
 
 #: Environment variable overriding the store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -50,11 +62,25 @@ def default_store() -> "ResultStore | None":
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Summary of a store's on-disk contents."""
+    """Summary of a store's on-disk contents and lifetime counters."""
 
     root: Path
     entries: int
     total_bytes: int
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lifetime lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit rate (0.0 for a never-queried store)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class ResultStore:
@@ -62,14 +88,24 @@ class ResultStore:
 
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self._pending = dict.fromkeys(COUNTER_KEYS, 0)
 
     @property
     def results_dir(self) -> Path:
         """Directory holding the fanned-out entry files."""
         return self.root / "results"
 
+    @property
+    def counters_path(self) -> Path:
+        """The cumulative-counters sidecar file."""
+        return self.root / "counters.json"
+
     def _entry_path(self, key: str) -> Path:
         return self.results_dir / key[:2] / f"{key}.json"
+
+    def _tally(self, key: str, metric: str) -> None:
+        self._pending[key] += 1
+        obs.inc(metric)
 
     def get(self, spec: JobSpec) -> DesignResult | None:
         """Stored result for ``spec``, or None on miss.
@@ -83,12 +119,17 @@ class ResultStore:
             payload = json.loads(path.read_text())
             if payload["schema"] != SCHEMA_VERSION:
                 raise ValueError(f"schema {payload['schema']} != {SCHEMA_VERSION}")
-            return DesignResult.from_dict(payload["result"])
+            result = DesignResult.from_dict(payload["result"])
         except FileNotFoundError:
+            self._tally("misses", "store.miss")
             return None
         except (OSError, ValueError, KeyError, TypeError):
             self._discard(path)
+            self._tally("corrupt_evictions", "store.corrupt-evicted")
+            self._tally("misses", "store.miss")
             return None
+        self._tally("hits", "store.hit")
+        return result
 
     def put(self, spec: JobSpec, result: DesignResult) -> Path:
         """Persist ``result`` under ``spec``'s content key, atomically."""
@@ -109,23 +150,65 @@ class ResultStore:
         except BaseException:
             self._discard(Path(tmp))
             raise
+        self._tally("writes", "store.write")
         return path
 
     def __contains__(self, spec: JobSpec) -> bool:
         return self._entry_path(spec.content_key).is_file()
 
+    def _read_counters(self) -> dict[str, int]:
+        """Persisted cumulative counters (zeros when absent/corrupt)."""
+        try:
+            payload = json.loads(self.counters_path.read_text())
+            return {key: int(payload.get(key, 0)) for key in COUNTER_KEYS}
+        except (OSError, ValueError, TypeError):
+            return dict.fromkeys(COUNTER_KEYS, 0)
+
+    def flush_counters(self) -> dict[str, int]:
+        """Fold this instance's unsaved tallies into ``counters.json``.
+
+        Read-add-replace with an atomic rename; concurrent flushers can
+        lose each other's deltas in a race, which is acceptable for
+        best-effort accounting (entries themselves are never at risk).
+        Returns the new cumulative counters.
+        """
+        totals = self._read_counters()
+        if any(self._pending.values()):
+            for key in COUNTER_KEYS:
+                totals[key] += self._pending[key]
+                self._pending[key] = 0
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(canonical_json(totals))
+                os.replace(tmp, self.counters_path)
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        return totals
+
+    def counters(self) -> dict[str, int]:
+        """Live view: persisted counters plus this instance's tallies."""
+        totals = self._read_counters()
+        for key in COUNTER_KEYS:
+            totals[key] += self._pending[key]
+        return totals
+
     def stats(self) -> StoreStats:
-        """Entry count and total size of the store."""
+        """Entry count, total size and lifetime counters of the store."""
         entries = 0
         total = 0
         if self.results_dir.is_dir():
             for path in self.results_dir.glob("*/*.json"):
                 entries += 1
                 total += path.stat().st_size
-        return StoreStats(root=self.root, entries=entries, total_bytes=total)
+        counters = self.counters()
+        return StoreStats(root=self.root, entries=entries, total_bytes=total, **counters)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and the counter history); returns how
+        many entries were removed."""
         removed = 0
         if self.results_dir.is_dir():
             for path in self.results_dir.glob("*/*.json"):
@@ -136,6 +219,8 @@ class ResultStore:
                     sub.rmdir()
                 except OSError:
                     pass
+        self._discard(self.counters_path)
+        self._pending = dict.fromkeys(COUNTER_KEYS, 0)
         return removed
 
     @staticmethod

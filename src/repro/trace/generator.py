@@ -8,8 +8,11 @@ so multi-hundred-thousand-access traces generate in well under a second.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
+from repro import obs
 from repro.trace.access import Trace
 from repro.trace.phases import AppProfile, PhaseSpec, Region
 from repro.types import CACHE_BLOCK_SIZE, TRACE_DTYPE, KERNEL_SPACE_START, Privilege
@@ -132,7 +135,17 @@ def generate_trace(profile: AppProfile, length: int, seed: int = 0) -> Trace:
     if length <= 0:
         raise ValueError(f"length must be positive, got {length}")
     _validate_profile_addresses(profile)
-    rng = np.random.default_rng(np.random.SeedSequence([hash(profile.name) & 0xFFFF_FFFF, length, seed]))
+    with obs.span("trace.generate", app=profile.name, length=length, seed=seed):
+        return _generate(profile, length, seed)
+
+
+def _generate(profile: AppProfile, length: int, seed: int) -> Trace:
+    # zlib.crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would make the same (profile, length, seed)
+    # triple yield a different trace in every interpreter — breaking the
+    # content-addressed result store and cross-process reproducibility.
+    name_seed = zlib.crc32(profile.name.encode("utf-8"))
+    rng = np.random.default_rng(np.random.SeedSequence([name_seed, length, seed]))
     transitions = np.asarray(profile.transitions)
 
     chunks: list[np.ndarray] = []

@@ -142,12 +142,16 @@ class TestSweep:
 
         assert strip_walltimes(serial) == strip_walltimes(parallel)
 
-    def test_progress_lines(self, tmp_path, monkeypatch):
+    def test_progress_lines_go_to_stderr(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         code, out = run_cli("sweep", "--designs", "baseline", "--apps", "reader",
                             "--length", "8000")
         assert code == 0
-        assert "[1/1] baseline:reader" in out
+        err = capsys.readouterr().err
+        assert "[1/1] baseline:reader" in err
+        # stdout (the table) must stay free of progress lines so piped
+        # output is machine-readable
+        assert "[1/1]" not in out
 
 
 class TestCache:

@@ -1,5 +1,9 @@
 """Unit tests for the synthetic trace generator."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -48,6 +52,27 @@ class TestBasics:
         a = generate_trace(two_phase_profile(), 2000, seed=3)
         b = generate_trace(two_phase_profile(), 2000, seed=4)
         assert not np.array_equal(a.records, b.records)
+
+    def test_deterministic_across_interpreters(self):
+        # str hashing is salted per process (PYTHONHASHSEED), so the seed
+        # derivation must not use hash() — otherwise the same (profile,
+        # length, seed) triple yields a different trace in every process
+        # and the content-addressed result store returns stale results.
+        script = (
+            "from repro.trace import suite_trace; import hashlib; "
+            "print(hashlib.sha256(suite_trace('browser', 2000, 0)"
+            ".records.tobytes()).hexdigest())"
+        )
+        digests = set()
+        for hashseed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
 
     def test_ticks_strictly_increasing_without_idle(self):
         t = generate_trace(two_phase_profile(), 3000, seed=0)
