@@ -26,7 +26,20 @@ from repro.config import PlatformConfig
 from repro.trace.access import Trace
 from repro.types import AccessKind, Privilege
 
-__all__ = ["L2Stream", "l1_filter"]
+__all__ = ["STREAM_COLUMNS", "L2Stream", "l1_filter"]
+
+#: The five parallel column arrays of an :class:`L2Stream`, with the
+#: exact dtype each must carry.  This is the stream's serialization
+#: contract: :meth:`L2Stream.columns` exports them in this order and
+#: :meth:`L2Stream.from_columns` refuses any deviation, so a stream
+#: that round-trips through disk is bit-identical to a fresh build.
+STREAM_COLUMNS = (
+    ("ticks", np.dtype(np.int64)),
+    ("addrs", np.dtype(np.uint64)),
+    ("privs", np.dtype(np.uint8)),
+    ("writes", np.dtype(np.bool_)),
+    ("demand", np.dtype(np.bool_)),
+)
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,62 @@ class L2Stream:
         if not len(self.ticks):
             return 0.0
         return float(np.mean(self.privs == np.uint8(Privilege.KERNEL)))
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The five parallel column arrays keyed by name (views, not copies)."""
+        return {name: getattr(self, name) for name, _ in STREAM_COLUMNS}
+
+    def context(self) -> dict:
+        """Scalar trace context plus L1 stats as a JSON-ready payload.
+
+        Together with :meth:`columns` this is everything a stream holds;
+        :meth:`from_columns` is the exact inverse.
+        """
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "trace_accesses": self.trace_accesses,
+            "duration_ticks": self.duration_ticks,
+            "l1i_stats": self.l1i_stats.to_dict(),
+            "l1d_stats": self.l1d_stats.to_dict(),
+        }
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, np.ndarray], context: dict) -> "L2Stream":
+        """Rebuild a stream from :meth:`columns` / :meth:`context` payloads.
+
+        Arrays are adopted as-is (memory-mapped inputs stay memory-mapped);
+        a missing column, a wrong dtype or mismatched lengths raises
+        ``ValueError`` — deserialization is exact or it is an error.
+        """
+        rows = None
+        for name, dtype in STREAM_COLUMNS:
+            arr = columns.get(name)
+            if arr is None:
+                raise ValueError(f"stream column {name!r} is missing")
+            if arr.dtype != dtype:
+                raise ValueError(f"stream column {name!r} has dtype {arr.dtype}, expected {dtype}")
+            if arr.ndim != 1:
+                raise ValueError(f"stream column {name!r} must be 1-D, got shape {arr.shape}")
+            if rows is None:
+                rows = len(arr)
+            elif len(arr) != rows:
+                raise ValueError(
+                    f"stream column {name!r} has {len(arr)} rows, expected {rows}"
+                )
+        return cls(
+            name=context["name"],
+            ticks=columns["ticks"],
+            addrs=columns["addrs"],
+            privs=columns["privs"],
+            writes=columns["writes"],
+            demand=columns["demand"],
+            instructions=int(context["instructions"]),
+            trace_accesses=int(context["trace_accesses"]),
+            duration_ticks=int(context["duration_ticks"]),
+            l1i_stats=CacheStats.from_dict(context["l1i_stats"]),
+            l1d_stats=CacheStats.from_dict(context["l1d_stats"]),
+        )
 
     def select(self, mask: np.ndarray) -> "L2Stream":
         """Sub-stream keeping only rows selected by ``mask``."""

@@ -11,9 +11,10 @@ Commands:
   non-zero if a claim band fails, for CI use).
 * ``sweep`` — run a design x app x seed grid through the execution
   engine (``--jobs N`` for multiprocess fan-out, store-backed).
-* ``cache`` — inspect (``stats``) or empty (``clear``) the persistent
-  result store; ``stats`` includes the lifetime hit-rate and
-  corruption counters.
+* ``cache`` — inspect (``stats``, ``--json`` for machines) or empty
+  (``clear``, with ``--results`` / ``--streams`` / ``--all`` selectors)
+  the persistent result store and L2-stream cache; ``stats`` includes
+  each cache's lifetime hit-rate and corruption counters.
 * ``obs`` — observability tooling: ``obs summary RUN.jsonl`` renders a
   where-did-the-time-go table from a structured run log.
 
@@ -35,8 +36,9 @@ from repro.cache.prefetch import make_prefetcher
 from repro.cache.replacement import POLICY_NAMES
 from repro.config import DEFAULT_PLATFORM, platform_preset
 from repro.core.designs import DESIGN_NAMES, make_design
-from repro.engine import default_store, run_sweep
+from repro.engine import default_store, default_stream_cache, run_sweep
 from repro.engine.store import ResultStore
+from repro.engine.streamcache import StreamCache
 from repro.core.search import find_static_partition
 from repro.dram import DRAMModel
 from repro.energy.technology import RETENTION_CLASSES
@@ -147,8 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--trace", metavar="PATH",
                          help="write a JSONL run log of the sweep to PATH")
 
-    cache_p = sub.add_parser("cache", help="manage the persistent result store")
+    cache_p = sub.add_parser("cache", help="manage the persistent result and stream caches")
     cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument("--json", action="store_true",
+                         help="stats: print machine-readable JSON instead of tables")
+    cache_scope = cache_p.add_mutually_exclusive_group()
+    cache_scope.add_argument("--results", action="store_true",
+                             help="clear: only the result store")
+    cache_scope.add_argument("--streams", action="store_true",
+                             help="clear: only the stream cache")
+    cache_scope.add_argument("--all", action="store_true",
+                             help="clear: results and streams (the default)")
 
     obs_p = sub.add_parser("obs", help="observability tooling for run logs")
     obs_p.add_argument("action", choices=("summary",))
@@ -252,28 +263,61 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _stats_rows(stats) -> list[list[str]]:
+    return [
+        ["root", str(stats.root)],
+        ["entries", f"{stats.entries:,}"],
+        ["size", f"{stats.total_bytes / 1024:.1f} KiB"],
+        ["lookups", f"{stats.lookups:,}"],
+        ["hits", f"{stats.hits:,}"],
+        ["misses", f"{stats.misses:,}"],
+        ["hit rate", format_percent(stats.hit_rate, 1)],
+        ["writes", f"{stats.writes:,}"],
+        ["corrupt evictions", f"{stats.corrupt_evictions:,}"],
+    ]
+
+
 def _cmd_cache(args, out) -> int:
     store = default_store()
     if store is None:
         store = ResultStore()
+    streams = default_stream_cache()
+    if streams is None:
+        streams = StreamCache()
     if args.action == "stats":
-        stats = store.stats()
-        rows = [
-            ["root", str(stats.root)],
-            ["entries", f"{stats.entries:,}"],
-            ["size", f"{stats.total_bytes / 1024:.1f} KiB"],
-            ["lookups", f"{stats.lookups:,}"],
-            ["hits", f"{stats.hits:,}"],
-            ["misses", f"{stats.misses:,}"],
-            ["hit rate", format_percent(stats.hit_rate, 1)],
-            ["writes", f"{stats.writes:,}"],
-            ["corrupt evictions", f"{stats.corrupt_evictions:,}"],
-        ]
-        print(format_table("result store", ["field", "value"], rows,
+        result_stats, stream_stats = store.stats(), streams.stats()
+        if args.json:
+            import json as _json
+
+            def payload(stats):
+                return {
+                    "root": str(stats.root),
+                    "entries": stats.entries,
+                    "total_bytes": stats.total_bytes,
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "hit_rate": stats.hit_rate,
+                    "writes": stats.writes,
+                    "corrupt_evictions": stats.corrupt_evictions,
+                }
+            print(_json.dumps({"results": payload(result_stats),
+                               "streams": payload(stream_stats)},
+                              indent=2, sort_keys=True), file=out)
+            return 0
+        print(format_table("result store", ["field", "value"], _stats_rows(result_stats),
+                           align_left_cols=2), file=out)
+        print(file=out)
+        print(format_table("stream cache", ["field", "value"], _stats_rows(stream_stats),
                            align_left_cols=2), file=out)
         return 0
-    removed = store.clear()
-    print(f"removed {removed} cached result(s) from {store.root}", file=out)
+    clear_results = args.results or args.all or not (args.results or args.streams)
+    clear_streams = args.streams or args.all or not (args.results or args.streams)
+    if clear_results:
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}", file=out)
+    if clear_streams:
+        removed = streams.clear()
+        print(f"removed {removed} stream bundle(s) from {streams.root}", file=out)
     return 0
 
 

@@ -9,8 +9,14 @@ four layers, each a module:
 * :mod:`repro.engine.store` — :class:`ResultStore`, a content-addressed
   on-disk cache of :class:`~repro.core.result.DesignResult` payloads
   (atomic writes, corruption-tolerant reads).
+* :mod:`repro.engine.streamcache` — :class:`StreamCache`, a
+  content-addressed on-disk cache of L1-filtered
+  :class:`~repro.cache.hierarchy.L2Stream` bundles, memory-mapped
+  zero-copy into every consumer so the trace front end runs once per
+  machine instead of once per process.
 * :mod:`repro.engine.executor` — :func:`run_jobs`, multiprocess fan-out
-  of a batch of specs with store lookup, retry and progress reporting.
+  of a batch of specs with store lookup, stream prebuild + affinity
+  scheduling, retry and progress reporting.
 * :mod:`repro.engine.sweep` — :func:`run_sweep`, the design x app x seed
   grid convenience used by ``repro sweep``.
 
@@ -21,6 +27,7 @@ depends only on its spec, so parallel and serial runs are bit-identical.
 from repro.engine.executor import BatchProgress, JobOutcome, run_jobs
 from repro.engine.spec import EXPERIMENT_TRACE_LENGTH, JobSpec
 from repro.engine.store import ResultStore, default_store
+from repro.engine.streamcache import StreamCache, default_stream_cache
 from repro.engine.sweep import SweepResult, run_sweep
 
 __all__ = [
@@ -28,6 +35,8 @@ __all__ = [
     "JobSpec",
     "ResultStore",
     "default_store",
+    "StreamCache",
+    "default_stream_cache",
     "BatchProgress",
     "JobOutcome",
     "run_jobs",

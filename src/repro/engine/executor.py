@@ -6,16 +6,30 @@ can, fans the rest out over a :class:`~concurrent.futures.ProcessPoolExecutor`,
 retries each failed job once, persists fresh results, and reports
 progress after every completion.
 
+The executor is *stream-aware*: jobs that differ only in design share
+one L1-filtered L2 stream (see :attr:`JobSpec.stream_key`), so a batch
+first ensures every unique stream exists in the persistent
+:class:`~repro.engine.streamcache.StreamCache` — a parallel prebuild
+wave of one task per missing stream, not per design — and then
+schedules design jobs with *stream affinity*: at most ``jobs`` tasks
+are in flight, and when a worker finishes a job the replacement task
+is drawn from the same stream, so the worker's memory-mapped columns
+stay hot.  Streams load through ``mmap`` and are therefore shared
+page-cache-backed across all workers either way; affinity saves the
+per-job bundle re-open and keeps each worker's per-process memo
+effective.
+
 Determinism: a job's result is a pure function of its spec (trace
 generation, L1 filtering and every design are seeded and deterministic),
 so the outcome of a batch is bit-identical whether it runs on 1 worker,
-N workers, or straight from the store.  Duplicate specs in a batch are
-simulated once and share the result.
+N workers, straight from the store, or from a cached stream.  Duplicate
+specs in a batch are simulated once and share the result.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from functools import lru_cache
@@ -28,6 +42,7 @@ from repro.core.designs import make_design
 from repro.core.result import DesignResult
 from repro.engine.spec import JobSpec
 from repro.engine.store import ResultStore
+from repro.engine.streamcache import default_stream_cache
 from repro.trace.workloads import suite_trace
 
 __all__ = ["JobOutcome", "BatchProgress", "run_jobs", "execute_spec"]
@@ -35,13 +50,67 @@ __all__ = ["JobOutcome", "BatchProgress", "run_jobs", "execute_spec"]
 
 @lru_cache(maxsize=16)
 def _worker_stream(app: str, length: int, seed: int, platform: PlatformConfig) -> L2Stream:
-    """Per-process cache of L1-filtered streams.
+    """Per-process memo of L1-filtered streams, backed by the mmap cache.
 
-    Pool workers handle many jobs over their lifetime; jobs sharing an
-    (app, length, seed, platform) tuple pay the L1 filter once per
-    worker instead of once per job.
+    Entries are zero-copy column views over the persistent
+    :class:`~repro.engine.streamcache.StreamCache` bundles, so what this
+    ``lru_cache`` keeps alive is a handful of memory maps the kernel
+    pages in and out on demand — not private heap copies of 720k-row
+    streams (the unbounded-retention problem the per-process rebuild
+    cache had).  Only with caching disabled (``REPRO_CACHE_DISABLE``)
+    does an entry own its arrays.
     """
-    return l1_filter(suite_trace(app, length, seed), platform)
+    cache = default_stream_cache()
+    if cache is None:
+        return l1_filter(suite_trace(app, length, seed), platform)
+    stream = cache.get_or_build(app, length, seed, platform)
+    # one flush per unique stream per process (memoised afterwards)
+    cache.flush_counters()
+    return stream
+
+
+def _prebuild_stream(app: str, length: int, seed: int, platform: PlatformConfig) -> None:
+    """Pool entry point of the prebuild wave: publish one stream bundle.
+
+    Returns nothing so the built stream is never pickled back to the
+    parent; the deliverable is the bundle on disk (and a warm memo in
+    this worker).
+    """
+    _worker_stream(app, length, seed, platform)
+
+
+def _prebuild_missing_streams(pool, specs: Sequence[JobSpec], fresh: dict) -> None:
+    """First wave of a parallel batch: build absent streams, one task each.
+
+    Without this, up to ``jobs`` workers would race to build the same
+    stream on first touch; with it, the cold grid pays each unique
+    front end exactly once process-wide.  A prebuild failure is not
+    fatal here — the design job that needs the stream rebuilds it and
+    surfaces the error through the normal retry path.
+    """
+    cache = default_stream_cache()
+    if cache is None:
+        return
+    unique: dict[str, JobSpec] = {}
+    for indices in fresh.values():
+        spec = specs[indices[0]]
+        unique.setdefault(spec.stream_key, spec)
+    missing = [
+        s for s in unique.values() if not cache.has(s.app, s.length, s.seed, s.platform)
+    ]
+    if not missing:
+        return
+    with obs.span("stream.prebuild", streams=len(missing)):
+        futures = [
+            pool.submit(_prebuild_stream, s.app, s.length, s.seed, s.platform)
+            for s in missing
+        ]
+        for spec, future in zip(missing, futures):
+            exc = future.exception()
+            if exc is not None:
+                obs.inc("streamcache.prebuild-error")
+                obs.event("stream.prebuild-error", app=spec.app,
+                          error=type(exc).__name__)
 
 
 def execute_spec(spec: JobSpec) -> DesignResult:
@@ -198,7 +267,11 @@ def _run_batch(
 
     if jobs == 1 or pending <= 1:
         remaining = pending
-        for indices in fresh.values():
+        # Stream-major order: consecutive jobs share a stream, so the
+        # in-process memo (`_worker_stream`) stays hot even when the
+        # batch spans more unique streams than the memo holds.
+        for key, indices in sorted(fresh.items(),
+                                   key=lambda kv: specs[kv[1][0]].stream_key):
             result, wall_s, cpu_s, attempts = _run_with_retry(
                 _timed_execute, specs[indices[0]], retries
             )
@@ -210,12 +283,37 @@ def _run_batch(
         return [o for o in outcomes if o is not None]
 
     with ProcessPoolExecutor(max_workers=min(jobs, pending)) as pool:
+        _prebuild_missing_streams(pool, specs, fresh)
         attempts_left = {key: 1 + retries for key in fresh}
         attempt_no = {key: 0 for key in fresh}
-        futures = {}
+
+        # Stream-affinity scheduling: keep at most `jobs` tasks in
+        # flight, drawn from per-stream queues.  When a worker finishes
+        # a job it is the pool's only idle worker, so the single task
+        # submitted next — preferring the finished job's stream — lands
+        # on it with its mmap and memo already warm.  Initial tasks
+        # round-robin across streams so workers start on distinct ones.
+        queues: dict[str, deque[str]] = {}
         for key, indices in fresh.items():
+            queues.setdefault(specs[indices[0]].stream_key, deque()).append(key)
+        stream_order = deque(queues)
+        futures = {}
+
+        def submit(preferred: str | None = None, key: str | None = None) -> None:
+            if key is None:
+                if preferred is None or not queues.get(preferred):
+                    while stream_order and not queues[stream_order[0]]:
+                        stream_order.popleft()
+                    if not stream_order:
+                        return
+                    preferred = stream_order[0]
+                    stream_order.rotate(-1)
+                key = queues[preferred].popleft()
             attempt_no[key] += 1
-            futures[pool.submit(_timed_execute, specs[indices[0]])] = key
+            futures[pool.submit(_timed_execute, specs[fresh[key][0]])] = key
+
+        for _ in range(min(jobs, pending)):
+            submit()
         while futures:
             done, _ = wait(futures, return_when=FIRST_COMPLETED)
             for future in done:
@@ -229,16 +327,17 @@ def _run_batch(
                         for other in futures:
                             other.cancel()
                         raise
-                    attempt_no[key] += 1
                     obs.inc("engine.job.retry")
                     obs.event("job.retry", label=specs[indices[0]].label(),
-                              attempt=attempt_no[key], error=type(exc).__name__)
-                    futures[pool.submit(_timed_execute, specs[indices[0]])] = key
+                              attempt=attempt_no[key] + 1, error=type(exc).__name__)
+                    submit(key=key)
                     continue
                 finish(indices, result, wall_s, cpu_s, attempt_no[key])
+                submit(preferred=specs[indices[0]].stream_key)
                 if progress is not None:
                     progress(BatchProgress(total, completed, cached_count,
-                                           len(futures), outcomes[indices[0]], started_at))
+                                           len(futures) + sum(map(len, queues.values())),
+                                           outcomes[indices[0]], started_at))
     return [o for o in outcomes if o is not None]
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "JobSpec",
     "canonical_json",
     "platform_fingerprint",
+    "stream_key",
 ]
 
 #: Accesses per app trace in the canonical experiments.  Long enough to
@@ -51,6 +52,36 @@ def platform_fingerprint(platform: PlatformConfig) -> str:
     """Short stable digest of every platform knob."""
     blob = canonical_json(dataclasses.asdict(platform))
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def stream_key(
+    app: str,
+    length: int,
+    seed: int,
+    platform: PlatformConfig,
+    l1_policy: str = "lru",
+) -> str:
+    """Stable hex key of one L1-filtered L2 stream (the front-end identity).
+
+    A stream is determined by strictly less than a full job: the app,
+    trace length, seed, platform (whose fingerprint covers the L1
+    geometries the filter simulates) and the L1 replacement policy —
+    but *not* the L2 design, which only replays the stream.  Every job
+    sharing these fields shares one stream, and therefore one entry in
+    :class:`~repro.engine.streamcache.StreamCache`.  The schema tag
+    invalidates persisted streams whenever the simulator's observable
+    output changes, exactly like result keys.
+    """
+    payload = {
+        "kind": "stream",
+        "schema": SCHEMA_VERSION,
+        "app": app,
+        "length": length,
+        "seed": seed,
+        "platform": platform_fingerprint(platform),
+        "l1_policy": l1_policy,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -109,6 +140,16 @@ class JobSpec:
     def content_key(self) -> str:
         """Stable hex key addressing this job's result in the store."""
         return hashlib.sha256(canonical_json(self.describe()).encode()).hexdigest()
+
+    @property
+    def stream_key(self) -> str:
+        """Key of the L2 stream this job replays (see :func:`stream_key`).
+
+        Jobs that differ only in design share a stream key; the executor
+        groups batches by it to build each stream once and schedule with
+        stream affinity.
+        """
+        return stream_key(self.app, self.length, self.seed, self.platform)
 
     def label(self) -> str:
         """Short human-readable name for progress lines and tables."""

@@ -32,7 +32,19 @@ from repro import obs
 from repro.core.result import DesignResult
 from repro.engine.spec import SCHEMA_VERSION, JobSpec, canonical_json
 
-__all__ = ["COUNTER_KEYS", "ResultStore", "StoreStats", "default_store", "default_cache_dir"]
+try:  # POSIX only; counter flushes fall back to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = [
+    "COUNTER_KEYS",
+    "CounterFile",
+    "ResultStore",
+    "StoreStats",
+    "default_store",
+    "default_cache_dir",
+]
 
 #: Keys of the persisted cumulative counters (``counters.json``).
 COUNTER_KEYS = ("hits", "misses", "writes", "corrupt_evictions")
@@ -58,6 +70,84 @@ def default_store() -> "ResultStore | None":
     if os.environ.get(CACHE_DISABLE_ENV):
         return None
     return ResultStore(default_cache_dir())
+
+
+class CounterFile:
+    """Cumulative named tallies persisted as one small JSON file.
+
+    This is the accounting mechanism shared by :class:`ResultStore`
+    (``counters.json``) and the stream cache (``stream_counters.json``):
+    instances accumulate deltas in memory via :meth:`tally` and fold
+    them into the on-disk totals with :meth:`flush` — a read-add-replace
+    guarded by an ``flock`` sidecar lock where available, so concurrent
+    pool workers don't lose each other's deltas.  A missing or corrupt
+    file reads as all-zero; the counters are accounting, never truth.
+    """
+
+    def __init__(self, path: Path, keys: tuple[str, ...]) -> None:
+        self.path = Path(path)
+        self.keys = tuple(keys)
+        self._pending = dict.fromkeys(self.keys, 0)
+
+    def tally(self, key: str, value: int = 1) -> None:
+        """Add ``value`` to the unsaved delta of counter ``key``."""
+        self._pending[key] += value
+
+    def read(self) -> dict[str, int]:
+        """Persisted cumulative counters (zeros when absent/corrupt)."""
+        try:
+            payload = json.loads(self.path.read_text())
+            return {key: int(payload.get(key, 0)) for key in self.keys}
+        except (OSError, ValueError, TypeError):
+            return dict.fromkeys(self.keys, 0)
+
+    def live(self) -> dict[str, int]:
+        """Persisted counters plus this instance's unsaved deltas."""
+        totals = self.read()
+        for key in self.keys:
+            totals[key] += self._pending[key]
+        return totals
+
+    def flush(self) -> dict[str, int]:
+        """Fold unsaved deltas into the file; returns the new totals."""
+        if not any(self._pending.values()):
+            return self.read()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_fd = None
+        if fcntl is not None:
+            lock_fd = os.open(f"{self.path}.lock", os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
+        try:
+            totals = self.read()
+            for key in self.keys:
+                totals[key] += self._pending[key]
+                self._pending[key] = 0
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(canonical_json(totals))
+                os.replace(tmp, self.path)
+            except BaseException:
+                _discard(Path(tmp))
+                raise
+        finally:
+            if lock_fd is not None:
+                fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                os.close(lock_fd)
+        return totals
+
+    def reset(self) -> None:
+        """Drop the persisted history and any unsaved deltas."""
+        _discard(self.path)
+        _discard(Path(f"{self.path}.lock"))
+        self._pending = dict.fromkeys(self.keys, 0)
+
+
+def _discard(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
 
 
 @dataclass(frozen=True)
@@ -88,7 +178,7 @@ class ResultStore:
 
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
-        self._pending = dict.fromkeys(COUNTER_KEYS, 0)
+        self._counters = CounterFile(self.root / "counters.json", COUNTER_KEYS)
 
     @property
     def results_dir(self) -> Path:
@@ -98,13 +188,13 @@ class ResultStore:
     @property
     def counters_path(self) -> Path:
         """The cumulative-counters sidecar file."""
-        return self.root / "counters.json"
+        return self._counters.path
 
     def _entry_path(self, key: str) -> Path:
         return self.results_dir / key[:2] / f"{key}.json"
 
     def _tally(self, key: str, metric: str) -> None:
-        self._pending[key] += 1
+        self._counters.tally(key)
         obs.inc(metric)
 
     def get(self, spec: JobSpec) -> DesignResult | None:
@@ -156,44 +246,17 @@ class ResultStore:
     def __contains__(self, spec: JobSpec) -> bool:
         return self._entry_path(spec.content_key).is_file()
 
-    def _read_counters(self) -> dict[str, int]:
-        """Persisted cumulative counters (zeros when absent/corrupt)."""
-        try:
-            payload = json.loads(self.counters_path.read_text())
-            return {key: int(payload.get(key, 0)) for key in COUNTER_KEYS}
-        except (OSError, ValueError, TypeError):
-            return dict.fromkeys(COUNTER_KEYS, 0)
-
     def flush_counters(self) -> dict[str, int]:
         """Fold this instance's unsaved tallies into ``counters.json``.
 
-        Read-add-replace with an atomic rename; concurrent flushers can
-        lose each other's deltas in a race, which is acceptable for
-        best-effort accounting (entries themselves are never at risk).
-        Returns the new cumulative counters.
+        Read-add-replace under a file lock (see :class:`CounterFile`);
+        returns the new cumulative counters.
         """
-        totals = self._read_counters()
-        if any(self._pending.values()):
-            for key in COUNTER_KEYS:
-                totals[key] += self._pending[key]
-                self._pending[key] = 0
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(canonical_json(totals))
-                os.replace(tmp, self.counters_path)
-            except BaseException:
-                self._discard(Path(tmp))
-                raise
-        return totals
+        return self._counters.flush()
 
     def counters(self) -> dict[str, int]:
         """Live view: persisted counters plus this instance's tallies."""
-        totals = self._read_counters()
-        for key in COUNTER_KEYS:
-            totals[key] += self._pending[key]
-        return totals
+        return self._counters.live()
 
     def stats(self) -> StoreStats:
         """Entry count, total size and lifetime counters of the store."""
@@ -219,8 +282,7 @@ class ResultStore:
                     sub.rmdir()
                 except OSError:
                     pass
-        self._discard(self.counters_path)
-        self._pending = dict.fromkeys(COUNTER_KEYS, 0)
+        self._counters.reset()
         return removed
 
     @staticmethod

@@ -18,6 +18,7 @@ from repro.core.designs import DESIGN_NAMES, make_design
 from repro.core.result import DesignResult
 from repro.engine.spec import EXPERIMENT_TRACE_LENGTH, JobSpec
 from repro.engine.store import default_store
+from repro.engine.streamcache import default_stream_cache
 from repro.trace.workloads import APP_NAMES, suite_trace
 
 __all__ = [
@@ -36,8 +37,22 @@ def experiment_stream(
     seed: int = 0,
     platform: PlatformConfig = DEFAULT_PLATFORM,
 ) -> L2Stream:
-    """L1-filtered L2 stream for ``app`` on ``platform`` (cached)."""
-    return l1_filter(suite_trace(app, length, seed), platform)
+    """L1-filtered L2 stream for ``app`` on ``platform`` (cached).
+
+    A thin lookup over the persistent
+    :class:`~repro.engine.streamcache.StreamCache`: the stream is built
+    at most once per machine, and what this memo holds are zero-copy
+    memory-mapped column views backed by the kernel page cache — not
+    private heap copies kept alive for the process lifetime.  With
+    caching disabled (``REPRO_CACHE_DISABLE``) the stream is built
+    in-process as before.
+    """
+    cache = default_stream_cache()
+    if cache is None:
+        return l1_filter(suite_trace(app, length, seed), platform)
+    stream = cache.get_or_build(app, length, seed, platform)
+    cache.flush_counters()
+    return stream
 
 
 @lru_cache(maxsize=256)
